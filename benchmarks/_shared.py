@@ -1,0 +1,39 @@
+"""Shared state for the benchmark harness.
+
+The Figures 10-12 benchmarks share one ladder computation; fuzzy banks and
+measurements are cached inside the shared runner.  Scale is controlled by
+``EVAL_REPRO_CHIPS`` (default 8 chips x 1 core; the paper uses 100 x 4 —
+set ``EVAL_REPRO_CHIPS=100 EVAL_REPRO_CORES=4`` to match it exactly).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.exps.ladder import run_ladder
+from repro.exps.runner import ExperimentRunner, RunnerConfig
+
+
+def scale() -> "tuple[int, int]":
+    chips = int(os.environ.get("EVAL_REPRO_CHIPS", "8"))
+    cores = int(os.environ.get("EVAL_REPRO_CORES", "1"))
+    return chips, cores
+
+
+@lru_cache(maxsize=1)
+def shared_runner() -> ExperimentRunner:
+    chips, cores = scale()
+    return ExperimentRunner(
+        RunnerConfig(
+            n_chips=chips,
+            cores_per_chip=cores,
+            fuzzy_examples=int(os.environ.get("EVAL_REPRO_FC_EXAMPLES", "4000")),
+            fuzzy_epochs=2,
+        )
+    )
+
+
+@lru_cache(maxsize=1)
+def shared_ladder():
+    return run_ladder(shared_runner())

@@ -1,0 +1,11 @@
+"""Figure 7(d): area overhead accounting."""
+
+from repro.exps import area_rows, format_table, run_area_table
+
+
+def test_area_table(benchmark):
+    budget = benchmark.pedantic(run_area_table, rounds=1, iterations=1)
+    print()
+    print(format_table("Fig 7(d): area overhead (% of processor area)",
+                       ["Source", "%"], area_rows(budget)))
+    assert round(100 * budget.total, 1) == 10.6  # paper total

@@ -1,0 +1,32 @@
+"""Figure 1: path-delay distributions and PE(f) curves."""
+
+import numpy as np
+
+from repro.exps import ascii_chart, format_series, run_fig1
+
+
+def test_fig1_paths(benchmark):
+    result = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    print()
+    print(
+        "Fig 1: T_nom = %.1f ps, T_var = %.1f ps (x%.3f)"
+        % (result.t_nominal * 1e12, result.t_varied * 1e12,
+           result.t_varied / result.t_nominal)
+    )
+    print(
+        format_series(
+            "Fig 1(d): processor PE vs relative frequency",
+            result.freqs / 4e9,
+            result.pe_pipeline,
+            "f_rel",
+            "PE (err/inst)",
+        )
+    )
+    print(ascii_chart(
+        "Fig 1(d) as a curve (log10 PE vs f_rel)",
+        result.freqs / 4e9,
+        result.pe_pipeline,
+        log_y=True,
+    ))
+    assert result.t_varied >= result.t_nominal * 0.95
+    assert np.all(np.diff(result.pe_pipeline) >= -1e-25)

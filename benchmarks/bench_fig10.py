@@ -1,0 +1,24 @@
+"""Figure 10: relative frequency per environment and adaptation mode."""
+
+from _shared import shared_ladder
+
+from repro.exps import format_table
+
+
+def test_fig10_frequency(benchmark):
+    result = benchmark.pedantic(shared_ladder, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        "Fig 10: frequency relative to NoVar  [paper: Baseline 0.78, "
+        "TS ~0.87, TS+ASV dyn 1.05-1.06, TS+ASV+Q+FU Fuzzy 1.21]",
+        ["Environment", "Static", "Fuzzy-Dyn", "Exh-Dyn"],
+        result.frequency_rows(),
+    ))
+    from repro.core import TS, TS_ASV_Q_FU, AdaptationMode
+
+    baseline = result.baseline.f_rel
+    best = result.summary(TS_ASV_Q_FU, AdaptationMode.FUZZY_DYN).f_rel
+    ts = result.summary(TS, AdaptationMode.FUZZY_DYN).f_rel
+    assert 0.68 < baseline < 0.9
+    assert ts > baseline
+    assert best > 1.0  # beats the no-variation clock

@@ -1,0 +1,23 @@
+"""Figure 11: relative performance per environment and adaptation mode."""
+
+from _shared import shared_ladder
+
+from repro.exps import format_table
+
+
+def test_fig11_performance(benchmark):
+    result = benchmark.pedantic(shared_ladder, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        "Fig 11: performance relative to NoVar  [paper: preferred scheme "
+        "1.14x NoVar = 1.40x Baseline]",
+        ["Environment", "Static", "Fuzzy-Dyn", "Exh-Dyn"],
+        result.performance_rows(),
+    ))
+    from repro.core import TS_ASV_Q_FU, AdaptationMode
+
+    best = result.summary(TS_ASV_Q_FU, AdaptationMode.FUZZY_DYN).perf_rel
+    gain_over_baseline = best / result.baseline.perf_rel
+    print(f"preferred/baseline performance: {gain_over_baseline:.2f}x "
+          "[paper 1.40x]")
+    assert gain_over_baseline > 1.1

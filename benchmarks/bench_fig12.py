@@ -1,0 +1,20 @@
+"""Figure 12: power per processor (core + L1 + L2 + checker)."""
+
+from _shared import shared_ladder
+
+from repro.exps import format_table
+
+
+def test_fig12_power(benchmark):
+    result = benchmark.pedantic(shared_ladder, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        "Fig 12: power per processor in watts  [paper: NoVar ~25 W, "
+        "Baseline ~17 W, preferred ~30 W = PMAX]",
+        ["Environment", "Static", "Fuzzy-Dyn", "Exh-Dyn"],
+        result.power_rows(),
+    ))
+    from repro.core import TS_ASV_Q_FU, AdaptationMode
+
+    best = result.summary(TS_ASV_Q_FU, AdaptationMode.FUZZY_DYN)
+    assert result.baseline.power < best.power <= 30.0 + 1e-6

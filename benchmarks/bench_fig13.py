@@ -1,0 +1,26 @@
+"""Figure 13: fuzzy-controller outcome fractions."""
+
+from _shared import shared_runner
+
+from repro.exps import OPT_CONFIGS, format_table, run_fig13
+from repro.exps.fig13_outcomes import OUTCOME_ORDER
+
+
+def test_fig13_outcomes(benchmark):
+    result = benchmark.pedantic(
+        run_fig13, args=(shared_runner(),), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        "Fig 13: fuzzy-controller outcomes (% of invocations) "
+        "[paper: NoChange+LowFreq >= ~50%, Temp infrequent]",
+        ["Opt config", "Environment"] + OUTCOME_ORDER,
+        result.rows(),
+    ))
+    good = [
+        result.no_change_or_low_freq(opt, env)
+        for (opt, env) in result.fractions
+    ]
+    # In most configurations the controller output needs no correction
+    # beyond a frequency ramp.
+    assert sum(g >= 0.4 for g in good) >= len(good) // 2

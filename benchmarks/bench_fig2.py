@@ -1,0 +1,26 @@
+"""Figure 2: tilt / shift / reshape / adapt curve transforms."""
+
+import numpy as np
+
+from repro.exps import format_table, run_fig2
+
+
+def test_fig2_taxonomy(benchmark):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    f_opt = result.tolerance.f_opt
+    idx = int(np.argmin(np.abs(result.freqs - f_opt)))
+    rows = [
+        ["before", f"{result.pe_before[idx]:.2e}"],
+        ["tilt", f"{result.pe_tilt[idx]:.2e}"],
+        ["shift", f"{result.pe_shift[idx]:.2e}"],
+        ["reshape", f"{result.pe_reshape[idx]:.2e}"],
+    ]
+    print()
+    print(
+        "Fig 2(a): f_var %.2f GHz -> f_opt %.2f GHz (tolerating errors)"
+        % (result.f_var() / 1e9, f_opt / 1e9)
+    )
+    print(format_table("Fig 2(b-d): PE at f_opt after each transform",
+                       ["transform", "PE"], rows))
+    assert result.pe_tilt[idx] <= result.pe_before[idx]
+    assert result.pe_shift[idx] <= result.pe_before[idx]

@@ -1,0 +1,22 @@
+"""Figure 8: PE / performance / frequency trade-off on one chip (swim)."""
+
+from repro.exps import ascii_chart, format_series, run_fig8
+
+
+def test_fig8_tradeoff(benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    f_ts, perf_ts = result.optimum("ts")
+    f_re, perf_re = result.optimum("reshaped")
+    print()
+    print("Fig 8 (swim-like, one sample chip):")
+    print("  Baseline fR (leftmost PE onset): %.3f  [paper ~0.84]"
+          % result.baseline_f_rel())
+    print("  TS optimum: fR=%.3f PerfR=%.3f      [paper ~0.91 / 0.92]"
+          % (f_ts, perf_ts))
+    print("  TS+ASV+ABB optimum: fR=%.3f PerfR=%.3f [paper ~1.03 / 1.00]"
+          % (f_re, perf_re))
+    print(format_series("Fig 8(b): PerfR vs fR under TS",
+                        result.freqs_rel, result.perf_ts, "fR", "PerfR"))
+    print(ascii_chart("Fig 8(d): PerfR vs fR under TS+ASV+ABB (reshaped)",
+                      result.freqs_rel, result.perf_reshaped))
+    assert f_re >= f_ts and perf_re >= perf_ts

@@ -1,0 +1,21 @@
+"""Figure 9: the power vs error-rate vs frequency surface (IntALU)."""
+
+import numpy as np
+
+from repro.exps import run_fig9
+
+
+def test_fig9_surfaces(benchmark):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    print()
+    print("Fig 9(a): min PE over (power budget, fR) for the IntALU")
+    header = "P(W)\\fR " + " ".join(
+        f"{f:5.2f}" for f in result.freq_rel_grid[::6]
+    )
+    print(header)
+    for j in range(0, len(result.power_grid), 4):
+        row = " ".join(f"{result.min_pe[j, k]:5.0e}"
+                       for k in range(0, result.min_pe.shape[1], 6))
+        print(f"{result.power_grid[j]:7.2f} {row}")
+    # Power and error rate are tradeable: more budget, lower PE.
+    assert np.all(np.diff(result.min_pe, axis=0) <= 1e-18)

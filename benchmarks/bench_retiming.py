@@ -1,0 +1,17 @@
+"""Section 7 comparison: EVAL vs dynamic retiming vs rigid baseline."""
+
+from repro.exps import format_table, run_retiming_comparison
+
+
+def test_retiming_comparison(benchmark):
+    result = benchmark.pedantic(
+        run_retiming_comparison, kwargs={"n_chips": 8}, rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        "EVAL vs dynamic retiming  [paper: retiming +10-20%, EVAL +40%]",
+        ["scheme", "f_rel", "gain vs baseline"],
+        result.rows(),
+    ))
+    assert 0.05 <= result.retiming_gain <= 0.30
+    assert result.eval_gain > result.retiming_gain

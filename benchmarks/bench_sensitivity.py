@@ -1,0 +1,20 @@
+"""Variation-severity sweep: how much loss EVAL recovers at each sigma."""
+
+from repro.exps import format_table, run_sensitivity
+
+
+def test_variation_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        run_sensitivity,
+        kwargs={"sigma_levels": (0.045, 0.09, 0.135), "n_chips": 4},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        "Variation severity sweep (Vt sigma/mu; paper setting = 0.090)",
+        ["sigma/mu", "phi", "Baseline f", "EVAL f", "loss recovered"],
+        result.rows(),
+    ))
+    baselines = [p.baseline_f_rel for p in result.points]
+    assert baselines == sorted(baselines, reverse=True)

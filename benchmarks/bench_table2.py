@@ -1,0 +1,21 @@
+"""Table 2: fuzzy controller vs Exhaustive selection accuracy."""
+
+from _shared import shared_runner
+
+from repro.exps import format_table, run_table2
+
+
+def test_table2_accuracy(benchmark):
+    result = benchmark.pedantic(
+        run_table2, args=(shared_runner(),), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        "Table 2: mean |Fuzzy - Exhaustive|  [paper: freq 135-450 MHz "
+        "(3.3-11%), Vdd 14-24 mV, Vbb 69-129 mV]",
+        ["Param", "Environment", "memory", "mixed", "logic"],
+        result.rows(),
+    ))
+    for env, kinds in result.freq_mhz.items():
+        for kind, mhz in kinds.items():
+            assert mhz < 800.0, (env, kind, mhz)  # same order as paper

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Chip binning: what EVAL does to a manufacturing frequency distribution.
+
+The paper's economic argument (Section 1) is that tolerating
+variation-induced errors makes a *population* of chips more valuable:
+instead of binning every die at its worst-case-safe frequency, EVAL
+recovers most of the variation loss on every die.
+
+This example draws a population of chips, bins each one under the
+Baseline rules and under EVAL (TS+ASV+Q), and prints the two frequency
+histograms side by side.
+
+Run:  python examples/chip_binning.py [n_chips]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import (
+    BASELINE,
+    DEFAULT_CALIBRATION,
+    TechniqueState,
+    VariationModel,
+    build_core,
+    measure_workload,
+    optimize_phase,
+    spec2000_like_suite,
+)
+from repro.core import TS_ASV_Q
+from repro.microarch import DEFAULT_CORE_CONFIG
+
+
+def bin_population(n_chips: int = 16):
+    calib = DEFAULT_CALIBRATION
+    workload = spec2000_like_suite()[1]  # gcc-like
+    meas = measure_workload(workload, DEFAULT_CORE_CONFIG)
+    meas_resized = measure_workload(
+        workload, DEFAULT_CORE_CONFIG.with_resized_queue(workload.domain)
+    )
+
+    chips = VariationModel().population(n_chips, seed=11)
+    baseline_bins, eval_bins = [], []
+    for chip in chips:
+        core = build_core(chip, 0)
+        baseline_bins.append(
+            optimize_phase(core, BASELINE, meas).f_core / calib.f_nominal
+        )
+        eval_bins.append(
+            optimize_phase(core, TS_ASV_Q, meas, meas_resized).f_core
+            / calib.f_nominal
+        )
+    return np.array(baseline_bins), np.array(eval_bins)
+
+
+def histogram(title: str, values: np.ndarray) -> None:
+    print(f"\n{title}  (mean {values.mean():.3f}, "
+          f"min {values.min():.3f}, max {values.max():.3f})")
+    edges = np.arange(0.6, 1.35, 0.05)
+    counts, _ = np.histogram(values, bins=edges)
+    for lo, count in zip(edges[:-1], counts):
+        print(f"  {lo:4.2f}-{lo + 0.05:4.2f}x | {'#' * count}{count and '' or ''}")
+
+
+def main() -> None:
+    n_chips = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    baseline, adaptive = bin_population(n_chips)
+    histogram("Baseline bins (worst-case-safe frequency, x NoVar)", baseline)
+    histogram("EVAL TS+ASV+Q bins (x NoVar)", adaptive)
+    recovered = adaptive.mean() / baseline.mean() - 1.0
+    print(f"\nEVAL lifts the average bin by {100 * recovered:.0f}% "
+          "across the population [paper: +44% for TS+ASV+Q dyn].")
+
+
+if __name__ == "__main__":
+    main()

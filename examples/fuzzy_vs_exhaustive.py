@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Fuzzy controller vs Exhaustive search: accuracy and speed.
+
+Trains the per-subsystem fuzzy controllers (Appendix A) against the
+Exhaustive Freq/Power oracle, then compares their selections and runtime
+on fresh chips — the Section 6.3 / Table 2 study in miniature.
+
+Run:  python examples/fuzzy_vs_exhaustive.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import TS_ASV, VariationModel, build_core
+from repro.core import AdaptationMode, optimize_phase
+from repro.microarch import DEFAULT_CORE_CONFIG, measure_workload, spec2000_like_suite
+from repro.ml import train_controller_bank
+
+
+def main() -> None:
+    chips = VariationModel().population(6, seed=21)
+    template = build_core(chips[0], 0)
+    spec = TS_ASV.optimization_spec(template.n_subsystems, template.calib)
+
+    print("Training fuzzy-controller bank (Exhaustive-labelled examples)...")
+    t0 = time.perf_counter()
+    bank = train_controller_bank(template, spec, n_examples=4000, epochs=2)
+    print(f"  trained {len(bank.freq_fcs)} Freq FCs + "
+          f"{len(bank.vdd_fcs)} Vdd FCs in {time.perf_counter() - t0:.1f} s")
+    rmse = 1e3 * np.mean(list(bank.freq_rmse.values()))
+    print(f"  mean Freq-FC training RMSE: {rmse:.0f} MHz "
+          "[paper Table 2: 135-450 MHz]\n")
+
+    meas = measure_workload(spec2000_like_suite()[0], DEFAULT_CORE_CONFIG)
+    print(f"{'chip':>4s} {'Exh f_rel':>10s} {'Fuzzy f_rel':>12s} "
+          f"{'gap':>6s} {'Exh ms':>7s} {'Fuzzy ms':>9s}")
+    for i, chip in enumerate(chips[1:], start=1):
+        core = build_core(chip, 0)
+        t0 = time.perf_counter()
+        exact = optimize_phase(core, TS_ASV, meas)
+        t_exh = 1e3 * (time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fuzzy = optimize_phase(
+            core, TS_ASV, meas, mode=AdaptationMode.FUZZY_DYN, bank=bank
+        )
+        t_fz = 1e3 * (time.perf_counter() - t0)
+        gap = fuzzy.f_core / exact.f_core - 1.0
+        print(f"{i:4d} {exact.f_core / 4e9:10.3f} {fuzzy.f_core / 4e9:12.3f} "
+              f"{100 * gap:5.1f}% {t_exh:7.1f} {t_fz:9.1f}")
+
+    print("\nThe fuzzy controller reaches within a few percent of the "
+          "Exhaustive oracle (the retuning cycles absorb the residue), "
+          "which is why the paper deploys it on-line.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Phase-driven adaptation: the Figure 6 runtime in action.
+
+Generates a stream of program phases for a swim-like FP application,
+feeds their basic-block vectors to the Sherwood-style phase detector, and
+executes the EVAL runtime: the controller runs once per *new* phase,
+recurring phases reuse their saved configuration, and every invocation is
+classified into the Figure 13 outcome classes.
+
+Run:  python examples/phase_adaptation.py
+"""
+
+from __future__ import annotations
+
+from repro import TS_ASV, VariationModel, build_core, spec2000_like_suite
+from repro.core import run_timeline
+from repro.microarch import generate_phase_stream
+
+
+def main() -> None:
+    core = build_core(VariationModel().population(1, seed=7)[0], 0)
+    workload = spec2000_like_suite()[5]  # swim-like, two phase kinds
+    stream = generate_phase_stream(workload, total_ms=2000, seed=3)
+
+    print(f"Executing {workload.name}: {len(stream)} stable phases "
+          f"({sum(p.duration_ms for p in stream):.0f} ms total)\n")
+    result = run_timeline(core, TS_ASV, stream)
+
+    print(f"{'phase':12s} {'ms':>6s} {'detector':>8s} {'config':>10s} "
+          f"{'f_rel':>6s}")
+    for event in result.events:
+        source = "reused" if event.reused_saved_config else "controller"
+        print(f"{event.phase_name:12s} {event.duration_ms:6.0f} "
+              f"#{event.detector_phase_id:<7d} {source:>10s} "
+              f"{event.f_rel:6.3f}")
+
+    print(f"\nController executions: {result.controller_runs} "
+          f"(saved-config reuse: {100 * result.reuse_fraction:.0f}%)")
+    print(f"Adaptation overhead: {100 * result.mean_overhead_fraction:.4f}% "
+          "of execution time [paper: negligible — controller runs ~6 us "
+          "per ~120 ms phase]")
+    print(f"Duration-weighted performance vs 4 GHz nominal: "
+          f"{result.mean_perf_rel():.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: adapt one variation-afflicted core with full EVAL.
+
+Builds one chip from the Monte-Carlo variation model, measures a
+SPEC-2000-like workload on the pipeline model, and runs high-dimensional
+dynamic adaptation (TS + ASV + queue resizing + FU replication) —
+printing the chosen operating point next to the Baseline and NoVar
+reference points.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BASELINE,
+    DEFAULT_CALIBRATION,
+    TS_ASV_Q_FU,
+    TechniqueState,
+    VariationModel,
+    build_core,
+    measure_workload,
+    optimize_phase,
+    spec2000_like_suite,
+)
+from repro.microarch import DEFAULT_CORE_CONFIG
+
+
+def main() -> None:
+    calib = DEFAULT_CALIBRATION
+
+    # 1. Manufacture a chip: draw systematic Vt/Leff maps, build core 0.
+    chip = VariationModel().population(1, seed=42)[0]
+    core = build_core(chip, core_index=0)
+    print("Chip 0, core 0 — per-subsystem slowdown (delay factor):")
+    factors = core.delay_factor(1.0, 0.0, calib.t_design)
+    for name, factor in zip(core.names, factors):
+        bar = "#" * int((factor - 0.8) * 50)
+        print(f"  {name:11s} {factor:6.3f} {bar}")
+
+    # 2. Measure a workload phase (the controller's sensed inputs).
+    workload = spec2000_like_suite()[0]  # gzip-like integer code
+    env = TS_ASV_Q_FU
+    base_cfg = TechniqueState(domain=workload.domain).core_config(
+        DEFAULT_CORE_CONFIG, replication_built=env.fu
+    )
+    meas_full = measure_workload(workload, base_cfg)
+    meas_resized = measure_workload(
+        workload, base_cfg.with_resized_queue(workload.domain)
+    )
+    print(f"\nWorkload {workload.name}: CPIcomp={meas_full.cpi_comp:.2f}, "
+          f"L2 misses/inst={meas_full.l2_miss_rate:.4f}")
+
+    # 3. Baseline: no checker — the chip must run error-free.
+    baseline = optimize_phase(core, BASELINE, meas_full)
+    print(f"\nBaseline:     {baseline.f_core / 1e9:.2f} GHz "
+          f"({baseline.f_core / calib.f_nominal:.3f}x NoVar), "
+          f"{baseline.state.total_power:.1f} W")
+
+    # 4. Full EVAL: tolerate errors, reshape with per-subsystem ASV,
+    #    resize the queue / pick the FU replica, check every constraint.
+    result = optimize_phase(core, env, meas_full, meas_resized)
+    technique = result.config.technique
+    print(f"EVAL (Q+FU):  {result.f_core / 1e9:.2f} GHz "
+          f"({result.f_core / calib.f_nominal:.3f}x NoVar), "
+          f"{result.state.total_power:.1f} W")
+    print(f"  outcome: {result.outcome.value}; "
+          f"queue={'full' if technique.queue_full else '3/4'}; "
+          f"FU={'low-slope' if technique.lowslope else 'normal'}")
+    print(f"  error rate: {result.state.pe_total:.2e} err/inst "
+          f"(budget {calib.pe_max:.0e}); "
+          f"hottest subsystem: {result.state.max_temperature - 273.15:.1f} C")
+    print("  per-subsystem Vdd (V):",
+          np.array2string(result.config.vdd, precision=2))
+
+    speedup = result.f_core / baseline.f_core
+    print(f"\nEVAL runs this chip {100 * (speedup - 1):.0f}% faster than "
+          "its worst-case-safe Baseline.")
+
+
+if __name__ == "__main__":
+    main()

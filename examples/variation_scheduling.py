@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Variation-aware scheduling on the 4-core CMP.
+
+With per-core EVAL adaptation, each core of a chip reaches a *different*
+frequency for a given application — its variation map decides which
+subsystem binds.  A scheduler that knows each (application, core)
+performance can therefore beat a variation-oblivious assignment for free.
+
+This example adapts four applications on all four cores of a chip,
+prints the resulting performance matrix, and solves the assignment
+problem exactly.
+
+Run:  python examples/variation_scheduling.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    TS_ASV,
+    VariationModel,
+    measure_workload,
+    optimize_phase,
+    spec2000_like_suite,
+)
+from repro.chip import CMP, schedule_applications
+from repro.microarch import DEFAULT_CORE_CONFIG
+
+
+def main() -> None:
+    chip = VariationModel().population(1, seed=13)[0]
+    cmp_chip = CMP.from_chip(chip)
+    apps = spec2000_like_suite()[:4]
+    measurements = [measure_workload(w, DEFAULT_CORE_CONFIG) for w in apps]
+
+    cache = {}
+
+    def evaluate(core, app_index):
+        key = (core.core_index, app_index)
+        if key not in cache:
+            result = optimize_phase(core, TS_ASV, measurements[app_index])
+            cache[key] = result.performance_ips
+        return cache[key]
+
+    result = schedule_applications(cmp_chip, evaluate)
+
+    print("Per-(application, core) performance under TS+ASV (G-instr/s):\n")
+    header = "app        " + "".join(f"  core{c}" for c in range(4))
+    print(header)
+    for a, app in enumerate(apps):
+        row = "".join(
+            f"  {result.per_pair_performance[(a, c)] / 1e9:5.2f}"
+            for c in range(4)
+        )
+        print(f"{app.name:10s}{row}")
+
+    print("\nOptimal assignment (app -> core):",
+          {apps[a].name: f"core{c}" for a, c in enumerate(result.assignment)})
+    print(f"Throughput: {result.throughput / 1e9:.2f} G-instr/s vs naive "
+          f"{result.naive_throughput / 1e9:.2f} "
+          f"(+{100 * result.gain:.1f}%)")
+    print("\nEven a single chip's within-die variation is worth scheduling "
+          "around — a follow-on the paper's conclusions anticipate.")
+
+
+if __name__ == "__main__":
+    main()

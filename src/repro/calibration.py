@@ -1,0 +1,168 @@
+"""Every calibrated constant of the reproduction, in one place.
+
+The paper publishes its headline parameters (Figure 7(a)): 45 nm, 4 GHz /
+1 V nominal, ``Vt`` sigma/mu 0.09 with phi 0.5, per-core ``PMAX`` 30 W,
+``TMAX`` 85 C, heat-sink 70 C, ``PEMAX`` 1e-4 err/inst.  What it does not
+publish is the authors' proprietary device files, critical-path
+composition, and Wattch/HotSpot extraction.  Those gaps are filled by the
+constants below.
+
+Calibration policy (see DESIGN.md Section 5): the delay-variation gains are
+tuned against a single anchor — mean Baseline relative frequency ~0.78
+across the Monte Carlo population (paper Section 6.2).  Everything else the
+paper reports is a *prediction* of the model and is compared against the
+paper in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .units import celsius_to_kelvin, ghz
+
+#: Stage/subsystem categories used throughout (paper Figure 7(b)).
+STAGE_KINDS = ("memory", "mixed", "logic")
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Calibrated model constants (defaults reproduce the paper setup)."""
+
+    # ------------------------------------------------------------------
+    # Published anchors (Figure 7(a)) — not free parameters.
+    # ------------------------------------------------------------------
+    f_nominal: float = ghz(4.0)
+    vdd_nominal: float = 1.0
+    p_max: float = 30.0  # watts per core (core + L1 + L2)
+    t_max: float = celsius_to_kelvin(85.0)
+    t_heatsink_max: float = celsius_to_kelvin(70.0)
+    pe_max: float = 1e-4  # errors per instruction, whole processor
+
+    # ------------------------------------------------------------------
+    # Design-balance assumptions.
+    # ------------------------------------------------------------------
+    #: Temperature at which the no-variation design meets 4 GHz exactly.
+    t_design: float = celsius_to_kelvin(72.0)
+    #: The design is "error-free" when every stage's exercised-path delay
+    #: sits z_free sigmas below the cycle time.  This is what defines the
+    #: safe frequency f_var of Section 2.2 (PE indistinguishable from 0).
+    z_free: float = 6.5
+
+    # ------------------------------------------------------------------
+    # Per-stage-kind dynamic path-delay spread, as a fraction of the
+    # nominal cycle.  Memory stages have homogeneous near-critical paths
+    # (sharp error onset, Fig 8(a)); logic stages have a wide mix of paths
+    # (gradual onset); mixed sits between.
+    # ------------------------------------------------------------------
+    stage_sigma: Dict[str, float] = field(
+        default_factory=lambda: {"memory": 0.034, "mixed": 0.045, "logic": 0.048}
+    )
+    #: Typical logic depth of a critical path, per stage kind.  Random
+    #: per-transistor variation averages over the path (sigma / sqrt(n)).
+    path_gate_depth: Dict[str, float] = field(
+        default_factory=lambda: {"memory": 10.0, "mixed": 14.0, "logic": 20.0}
+    )
+    #: Effective number of *independent* near-critical paths per stage
+    #: kind.  SRAM arrays expose millions of identical bitline paths, so
+    #: their worst path sits far out in the random-variation tail.
+    path_count: Dict[str, float] = field(
+        default_factory=lambda: {"memory": 2e6, "mixed": 2e5, "logic": 5e4}
+    )
+    #: Which cell-delay quantile of a subsystem's footprint governs its
+    #: timing.  Large SRAM arrays carry redundant rows/columns that repair
+    #: the slowest spots, so they are governed by a high percentile rather
+    #: than the absolute worst cell; logic has no such repair.
+    repair_quantile: Dict[str, float] = field(
+        default_factory=lambda: {"memory": 0.80, "mixed": 0.90, "logic": 1.0}
+    )
+
+    # ------------------------------------------------------------------
+    # Calibrated gains (the only knobs fit to the Baseline ~0.78 anchor).
+    # They absorb unmodelled die-to-die components, path re-convergence
+    # and the coarseness of the analytic path model.
+    # ------------------------------------------------------------------
+    systematic_delay_gain: float = 2.85
+    random_delay_gain: float = 1.3
+
+    # ------------------------------------------------------------------
+    # Mitigation-technique parameters (paper Sections 3.3 and 5).
+    # ------------------------------------------------------------------
+    #: Low-slope FU replica: dynamic-delay sigma multiplier ("variance
+    #: doubles" -> sigma x sqrt(2)=~1.41; we keep the published x2 variance
+    #: by scaling sigma by sqrt(2)) while the slowest path (f_var anchor)
+    #: is unchanged — a pure Tilt of the PE curve.
+    lowslope_sigma_factor: float = 1.4142135623730951
+    #: Low-slope replica consumes 30% more power (and area) [1].
+    lowslope_power_factor: float = 1.30
+    #: Resizing an issue queue to 3/4 capacity shortens its wordlines /
+    #: taglines; all paths speed up by this factor (Shift).
+    queue_resize_delay_factor: float = 0.92
+    #: ... and the disabled quarter stops switching/leaking, so the
+    #: queue's power drops too (the original goal of [4]).
+    queue_resize_power_factor: float = 0.78
+    #: Extra pipeline stage added between register read and execute when FU
+    #: replication is built in (Section 3.3.1): lengthens the branch
+    #: misprediction / load misspeculation loops by one cycle.
+    fu_replication_extra_stage: int = 1
+
+    # ------------------------------------------------------------------
+    # Power budget split (45 nm ITRS-style: ~30% static at nominal).
+    # The per-subsystem budgets live in the floorplan; these are totals
+    # used to normalise them.
+    # ------------------------------------------------------------------
+    core_dynamic_power_nominal: float = 15.5  # W at 4 GHz, 1 V, typical activity
+    core_static_power_nominal: float = 7.0  # W at t_design and mean Vt
+
+    # ------------------------------------------------------------------
+    # Thermal network (HotSpot substitute).  Rth_i = rth_coeff / area_i^p
+    # where area_i is the subsystem's fraction of core area.  The exponent
+    # < 1 models lateral heat spreading, which benefits small hot blocks.
+    # ------------------------------------------------------------------
+    rth_coefficient: float = 0.20  # K/W at area fraction 1.0
+    rth_area_exponent: float = 0.72
+
+    # ------------------------------------------------------------------
+    # Timing speculation (Diva-like checker, Section 3.1 / Figure 7(c)).
+    # ------------------------------------------------------------------
+    #: Error-recovery penalty in cycles: take the checker result, flush the
+    #: pipeline, restart — same cost as a branch misprediction.
+    recovery_penalty_cycles: float = 14.0
+    #: Checker power as a fraction of core dynamic power (7% area, simple
+    #: in-order engine at 3.5 GHz).
+    checker_power_fraction: float = 0.05
+
+    # ------------------------------------------------------------------
+    # Memory system (Figure 7(a)): round-trip latencies at 4 GHz.
+    # ------------------------------------------------------------------
+    l1_roundtrip_cycles_nominal: int = 2
+    l2_roundtrip_cycles_nominal: int = 8
+    memory_roundtrip_cycles_nominal: int = 208
+    #: The memory round trip is dominated by off-chip time, so in seconds
+    #: it is frequency-independent: mp(f) grows linearly with f (Eq 5).
+    memory_latency_seconds: float = 208 / ghz(4.0)
+    #: Fraction of the L2-miss latency not overlapped with computation.
+    memory_overlap_factor: float = 0.7
+
+    def stage_mean(self, kind: str) -> float:
+        """Design-point mean exercised-path delay, in cycle fractions.
+
+        Every stage is balanced so its error-free point (mean + z_free
+        sigma) lands exactly on the nominal cycle: the "critical-path
+        wall" of Section 3.3.1.
+        """
+        return 1.0 - self.z_free * self.stage_sigma[kind]
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on physically inconsistent settings."""
+        for kind in STAGE_KINDS:
+            if self.stage_mean(kind) <= 0.0:
+                raise ValueError(f"z_free * sigma >= 1 for stage kind {kind!r}")
+        if self.pe_max <= 0.0 or self.pe_max >= 1.0:
+            raise ValueError("pe_max must be in (0, 1)")
+        if self.t_max <= self.t_heatsink_max:
+            raise ValueError("TMAX must exceed the heat-sink temperature")
+
+
+DEFAULT_CALIBRATION = Calibration()
+DEFAULT_CALIBRATION.validate()

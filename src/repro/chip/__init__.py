@@ -1,0 +1,37 @@
+"""Chip model: floorplan, subsystems, per-core parameters (Figure 7)."""
+
+from .chip import CORE_QUADRANTS, Core, build_chip_cores, build_core, build_novar_core
+from .cmp import CMP, ScheduleResult, schedule_applications
+from .floorplan import Floorplan, L2Spec, default_floorplan
+from .subsystem import (
+    FP_DOMAIN,
+    INT_DOMAIN,
+    LOGIC,
+    MEMORY,
+    MIXED,
+    SHARED_DOMAIN,
+    Rect,
+    SubsystemSpec,
+)
+
+__all__ = [
+    "CMP",
+    "CORE_QUADRANTS",
+    "Core",
+    "FP_DOMAIN",
+    "Floorplan",
+    "INT_DOMAIN",
+    "L2Spec",
+    "LOGIC",
+    "MEMORY",
+    "MIXED",
+    "Rect",
+    "SHARED_DOMAIN",
+    "ScheduleResult",
+    "SubsystemSpec",
+    "build_chip_cores",
+    "build_core",
+    "build_novar_core",
+    "default_floorplan",
+    "schedule_applications",
+]

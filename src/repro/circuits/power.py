@@ -1,0 +1,30 @@
+"""Dynamic power model (paper Eqs. 3 and 7).
+
+The paper models per-subsystem dynamic power as::
+
+    Pdyn = Kdyn * alpha_f * Vdd^2 * f
+
+where ``Kdyn`` is a per-subsystem constant (effective switched capacitance,
+estimated by CAD tools), ``alpha_f`` the activity factor in accesses per
+cycle, ``Vdd`` the subsystem supply and ``f`` the core frequency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dynamic_power(kdyn, activity, vdd, freq):
+    """Return dynamic power in watts (paper Eq. 7).
+
+    Args:
+        kdyn: Per-subsystem switched-capacitance constant (W / (V^2 * Hz)
+            at activity 1.0).
+        activity: Activity factor in accesses per cycle (``alpha_f``).
+        vdd: Supply voltage in volts.
+        freq: Clock frequency in hertz.
+    """
+    activity = np.asarray(activity, dtype=float)
+    if np.any(activity < 0.0):
+        raise ValueError("activity factor cannot be negative")
+    return kdyn * activity * np.asarray(vdd, dtype=float) ** 2 * freq

@@ -1,0 +1,399 @@
+"""High-dimensional dynamic adaptation (paper Section 4).
+
+This is the paper's key technique: at every phase boundary, jointly pick
+the core frequency, per-subsystem (Vdd, Vbb), the issue-queue size, and
+which FU replica to enable — within the temperature, power and error-rate
+constraints.  The search is decomposed per Section 4.2:
+
+1. **Freq**: each subsystem independently finds its maximum frequency
+   (Exhaustive grid sweep, or the trained fuzzy controllers); the core
+   frequency is the minimum.
+2. **FU replication**: the Figure 4 rule — enable the low-slope replica
+   only when the normal FU is the processor bottleneck.
+3. **Queue resizing**: estimate Eq 5 performance with both queue sizes
+   (using their separately measured ``CPIcomp``) and keep the winner.
+4. **Power**: each subsystem re-minimises its power at the chosen core
+   frequency.
+5. **Retuning cycles** absorb controller inaccuracy and the global
+   power-budget check (Section 4.3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from ..chip.chip import Core
+from ..microarch.simulator import WorkloadMeasurement
+from ..mitigation.base import (
+    BASE,
+    FU_LOWSLOPE,
+    FU_NORMAL,
+    QUEUE_FULL,
+    QUEUE_RESIZED,
+    TechniqueState,
+)
+from ..mitigation.fu_replication import choose_fu_implementation
+from ..mitigation.queue_resize import choose_queue_size
+from ..timing.speculation import CheckerConfig, PerfParams, performance
+from .environments import AdaptationMode, Environment
+from .optimizer import (
+    OptimizationSpec,
+    core_subsystem_arrays,
+    freq_algorithm,
+    power_algorithm,
+)
+from .retuning import Outcome, RetuningResult, retune
+from .state import Configuration, EvaluatedState, evaluate_configuration
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from ..ml.bank import ControllerBank
+
+
+@dataclass(frozen=True)
+class AdaptationResult:
+    """Everything the runner needs about one adaptation decision."""
+
+    environment: Environment
+    mode: AdaptationMode
+    config: Configuration  # final (post-retuning) configuration
+    state: EvaluatedState  # settled physics at that configuration
+    outcome: Outcome
+    f_controller: float  # frequency the controller initially chose
+    measurement: WorkloadMeasurement  # the phase measurement actually used
+    performance_ips: float  # Eq 5 instructions/second at the final point
+
+    @property
+    def f_core(self) -> float:
+        """Final core frequency in hertz."""
+        return self.config.f_core
+
+
+def perf_params_from_measurement(
+    meas: WorkloadMeasurement, core: Core
+) -> PerfParams:
+    """Assemble the Eq 5 parameters for one measured phase."""
+    calib = core.calib
+    return PerfParams(
+        cpi_comp=meas.cpi_comp,
+        l2_miss_rate=meas.l2_miss_rate,
+        recovery_penalty=calib.recovery_penalty_cycles,
+        memory_latency_s=calib.memory_latency_seconds,
+        overlap_factor=meas.overlap_factor,
+    )
+
+
+def _fuzzy_variant(
+    core: Core, index: int, env: Environment, technique: TechniqueState
+) -> str:
+    """Which FC variant applies at a subsystem for a technique state."""
+    sub = core.floorplan.subsystems[index]
+    if sub.resizable:
+        if env.queue and sub.domain == technique.domain and not technique.queue_full:
+            return QUEUE_RESIZED
+        return QUEUE_FULL
+    if sub.replicable:
+        if env.fu and sub.domain == technique.domain and technique.lowslope:
+            return FU_LOWSLOPE
+        return FU_NORMAL
+    return BASE
+
+
+def _subsystem_fmax(
+    core: Core,
+    env: Environment,
+    spec: OptimizationSpec,
+    technique: TechniqueState,
+    meas: WorkloadMeasurement,
+    mode: AdaptationMode,
+    bank: "Optional[ControllerBank]",
+) -> np.ndarray:
+    """Per-subsystem max frequency under one technique state."""
+    if mode is AdaptationMode.FUZZY_DYN:
+        if bank is None:
+            raise ValueError("Fuzzy-Dyn requires a trained controller bank")
+        th = spec.t_heatsink
+        return np.array(
+            [
+                bank.predict_fmax(
+                    core,
+                    i,
+                    _fuzzy_variant(core, i, env, technique),
+                    th,
+                    float(meas.activity[i]),
+                    float(meas.rho[i]),
+                )
+                for i in range(core.n_subsystems)
+            ]
+        )
+    subs = core_subsystem_arrays(
+        core,
+        meas.activity,
+        meas.rho,
+        technique.stage_modifiers(core),
+        technique.power_factors(core),
+    )
+    return freq_algorithm(subs, spec).f_max
+
+
+def _freq_stage(
+    core: Core,
+    env: Environment,
+    spec: OptimizationSpec,
+    meas: WorkloadMeasurement,
+    mode: AdaptationMode,
+    bank: "Optional[ControllerBank]",
+    queue_full: bool,
+) -> "tuple[TechniqueState, float]":
+    """Freq algorithm + the Figure 4 FU-replication decision."""
+    technique = TechniqueState(
+        queue_full=queue_full, lowslope=False, domain=meas.domain
+    )
+    fmax = _subsystem_fmax(core, env, spec, technique, meas, mode, bank)
+    if env.fu:
+        fu_idx = core.floorplan.index_of(technique.fu_name)
+        lowslope_state = replace(technique, lowslope=True)
+        fmax_ls = _subsystem_fmax(
+            core, env, spec, lowslope_state, meas, mode, bank
+        )
+        rest = np.delete(fmax, fu_idx)
+        decision = choose_fu_implementation(
+            f_normal=float(fmax[fu_idx]),
+            f_lowslope=float(fmax_ls[fu_idx]),
+            f_rest=float(rest.min()),
+        )
+        if decision.use_lowslope:
+            technique = lowslope_state
+            fmax = fmax_ls
+    f_core = spec.knob_ranges.clamp_frequency(float(fmax.min()))
+    return technique, f_core
+
+
+def _power_stage(
+    core: Core,
+    env: Environment,
+    spec: OptimizationSpec,
+    technique: TechniqueState,
+    meas: WorkloadMeasurement,
+    f_core: float,
+    mode: AdaptationMode,
+    bank: "Optional[ControllerBank]",
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-subsystem (Vdd, Vbb) minimising power at ``f_core``."""
+    n = core.n_subsystems
+    if not env.asv and not env.abb:
+        return (
+            np.full(n, core.calib.vdd_nominal),
+            np.zeros(n),
+        )
+    if mode is AdaptationMode.FUZZY_DYN:
+        vdd = np.empty(n)
+        vbb = np.empty(n)
+        for i in range(n):
+            vdd[i], vbb[i] = bank.predict_voltages(
+                core,
+                i,
+                _fuzzy_variant(core, i, env, technique),
+                spec.t_heatsink,
+                float(meas.activity[i]),
+                float(meas.rho[i]),
+                f_core,
+            )
+        return vdd, vbb
+    subs = core_subsystem_arrays(
+        core,
+        meas.activity,
+        meas.rho,
+        technique.stage_modifiers(core),
+        technique.power_factors(core),
+    )
+    result = power_algorithm(subs, f_core, spec)
+    return result.vdd, result.vbb
+
+
+def optimize_phase(
+    core: Core,
+    env: Environment,
+    meas_full: WorkloadMeasurement,
+    meas_resized: Optional[WorkloadMeasurement] = None,
+    mode: AdaptationMode = AdaptationMode.EXH_DYN,
+    bank: "Optional[ControllerBank]" = None,
+    *,
+    spec: Optional[OptimizationSpec] = None,
+    retune_enabled: bool = True,
+) -> AdaptationResult:
+    """Run one full adaptation for a phase (Section 4.2 procedure).
+
+    Args:
+        core: The physical core.
+        env: The capability environment (Table 1).
+        meas_full: Phase measurement with the full-size issue queue (and
+            the replication pipeline stage if ``env.fu``).
+        meas_resized: Phase measurement with the 3/4 queue; required when
+            ``env.queue``.
+        mode: Static / Fuzzy-Dyn / Exh-Dyn.  (For Static, pass the
+            aggregated worst-case measurement as ``meas_full``.)
+        bank: Trained fuzzy controllers (Fuzzy-Dyn only).
+        spec: Optional pre-built optimisation spec (else derived from the
+            environment).
+        retune_enabled: Disable to study the raw controller output (the
+            retuning ablation).
+    """
+    if env.queue and meas_resized is None:
+        raise ValueError(f"{env.name} resizes queues: meas_resized required")
+    spec = spec or env.optimization_spec(core.n_subsystems, core.calib)
+
+    technique_full, f_full = _freq_stage(
+        core, env, spec, meas_full, mode, bank, queue_full=True
+    )
+    chosen_technique, chosen_meas, f_core = technique_full, meas_full, f_full
+
+    if env.queue:
+        technique_rs, f_rs = _freq_stage(
+            core, env, spec, meas_resized, mode, bank, queue_full=False
+        )
+        pe_target = core.calib.pe_max if env.checker else 0.0
+        decision = choose_queue_size(
+            f_full,
+            perf_params_from_measurement(meas_full, core),
+            f_rs,
+            perf_params_from_measurement(meas_resized, core),
+            pe_target,
+        )
+        if not decision.use_full:
+            chosen_technique, chosen_meas, f_core = (
+                technique_rs,
+                meas_resized,
+                f_rs,
+            )
+
+    vdd, vbb = _power_stage(
+        core, env, spec, chosen_technique, chosen_meas, f_core, mode, bank
+    )
+    # Section 4.2's final check: overall processor power below PMAX.  The
+    # controller models power with the same Eq 6-9 constants it senses, so
+    # on a violation it lowers the core frequency and re-runs the Power
+    # stage (which relaxes per-subsystem voltages) until the budget fits.
+    step = spec.knob_ranges.f_step
+    while f_core - 2 * step >= spec.knob_ranges.f_min:
+        trial = Configuration(
+            f_core=f_core, vdd=vdd, vbb=vbb, technique=chosen_technique
+        )
+        estimate = evaluate_configuration(
+            core,
+            trial,
+            chosen_meas.activity,
+            chosen_meas.rho,
+            spec.t_heatsink,
+            checker=env.checker,
+        )
+        if estimate.total_power <= core.calib.p_max:
+            break
+        f_core -= 2 * step
+        vdd, vbb = _power_stage(
+            core, env, spec, chosen_technique, chosen_meas, f_core, mode, bank
+        )
+    config = Configuration(
+        f_core=f_core, vdd=vdd, vbb=vbb, technique=chosen_technique
+    )
+
+    pe_limit = core.calib.pe_max if env.checker else 1e-12
+    if retune_enabled:
+        result: RetuningResult = retune(
+            core,
+            config,
+            chosen_meas.activity,
+            chosen_meas.rho,
+            pe_max=pe_limit,
+            checker=env.checker,
+            knob_ranges=spec.knob_ranges,
+            t_heatsink=spec.t_heatsink,
+        )
+        config, state, outcome = result.config, result.state, result.outcome
+    else:
+        state = evaluate_configuration(
+            core,
+            config,
+            chosen_meas.activity,
+            chosen_meas.rho,
+            spec.t_heatsink,
+            checker=env.checker,
+        )
+        outcome = Outcome.NO_CHANGE
+
+    params = perf_params_from_measurement(chosen_meas, core)
+    pe_effective = state.pe_total if env.checker else 0.0
+    perf = float(performance(config.f_core, pe_effective, params))
+    if env.checker:
+        perf = float(CheckerConfig().cap_performance(perf))
+    return AdaptationResult(
+        environment=env,
+        mode=mode,
+        config=config,
+        state=state,
+        outcome=outcome,
+        f_controller=f_core,
+        measurement=chosen_meas,
+        performance_ips=perf,
+    )
+
+
+def aggregate_static_measurement(
+    measurements: List[WorkloadMeasurement],
+) -> WorkloadMeasurement:
+    """Worst-case aggregate for the Static mode.
+
+    Static configurations must cover the workload mix without collapsing
+    to the single most extreme phase, so thermal and error inputs take a
+    high percentile across phases; performance inputs take means (they
+    only rank queue sizes).
+    """
+    if not measurements:
+        raise ValueError("need at least one measurement")
+    activity = np.percentile([m.activity for m in measurements], 90, axis=0)
+    rho = np.percentile([m.rho for m in measurements], 95, axis=0)
+    domains = {m.domain for m in measurements}
+    return WorkloadMeasurement(
+        name="static-worst-case",
+        phase="all",
+        domain=measurements[0].domain if len(domains) == 1 else "int",
+        cpi_comp=float(np.mean([m.cpi_comp for m in measurements])),
+        cpi_total=float(np.mean([m.cpi_total for m in measurements])),
+        l2_miss_rate=float(np.mean([m.l2_miss_rate for m in measurements])),
+        overlap_factor=float(np.mean([m.overlap_factor for m in measurements])),
+        activity=activity,
+        rho=rho,
+        ipc=float(np.mean([m.ipc for m in measurements])),
+    )
+
+
+def evaluate_at_fixed_config(
+    core: Core,
+    env: Environment,
+    config: Configuration,
+    meas: WorkloadMeasurement,
+) -> AdaptationResult:
+    """Evaluate a (static) configuration on one workload without adapting."""
+    state = evaluate_configuration(
+        core,
+        config,
+        meas.activity,
+        meas.rho,
+        core.calib.t_heatsink_max,
+        checker=env.checker,
+    )
+    params = perf_params_from_measurement(meas, core)
+    pe_effective = state.pe_total if env.checker else 0.0
+    perf = float(performance(config.f_core, pe_effective, params))
+    return AdaptationResult(
+        environment=env,
+        mode=AdaptationMode.STATIC,
+        config=config,
+        state=state,
+        outcome=Outcome.NO_CHANGE,
+        f_controller=config.f_core,
+        measurement=meas,
+        performance_ips=perf,
+    )

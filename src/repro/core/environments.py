@@ -1,0 +1,121 @@
+"""The evaluation environments of Table 1.
+
+Each environment is a set of *capabilities*: whether timing speculation
+(the Diva-like checker) is present, which voltage knobs exist (ASV/ABB),
+and which micro-architectural techniques are built (queue resizing, FU
+replication).  ``NoVar`` and ``Baseline`` bracket the design space.
+
+Each environment can be run with three adaptation modes (Figures 10-12):
+``Static`` (one conservative configuration per chip), ``Fuzzy-Dyn``
+(per-phase adaptation through the fuzzy controllers), and ``Exh-Dyn``
+(per-phase adaptation through the Exhaustive oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+import numpy as np
+
+from ..calibration import DEFAULT_CALIBRATION, Calibration
+from ..circuits.knobs import DEFAULT_KNOB_RANGES, KnobRanges
+from .optimizer import OptimizationSpec
+
+
+class AdaptationMode(Enum):
+    """How an environment picks its operating point (Figures 10-12)."""
+
+    STATIC = "Static"
+    FUZZY_DYN = "Fuzzy-Dyn"
+    EXH_DYN = "Exh-Dyn"
+
+
+@dataclass(frozen=True)
+class Environment:
+    """One Table 1 environment (a capability set)."""
+
+    name: str
+    checker: bool = False  # timing speculation (TS)
+    asv: bool = False  # per-subsystem adaptive supply voltage
+    abb: bool = False  # per-subsystem adaptive body bias
+    queue: bool = False  # issue-queue resizing built
+    fu: bool = False  # FU replication built (implies +1 pipe stage)
+    variation: bool = True  # False only for NoVar
+
+    def __post_init__(self) -> None:
+        if (self.queue or self.fu or self.asv or self.abb) and not self.checker:
+            if self.variation:
+                raise ValueError(
+                    f"{self.name}: mitigation techniques require the checker"
+                )
+
+    def optimization_spec(
+        self,
+        n_subsystems: int,
+        calib: Calibration = DEFAULT_CALIBRATION,
+        knob_ranges: KnobRanges = DEFAULT_KNOB_RANGES,
+    ) -> OptimizationSpec:
+        """Build the Freq/Power constraint spec for this environment."""
+        vdd_levels = (
+            knob_ranges.vdd_levels() if self.asv else np.array([calib.vdd_nominal])
+        )
+        vbb_levels = knob_ranges.vbb_levels() if self.abb else np.array([0.0])
+        pe_budget = calib.pe_max / n_subsystems if self.checker else 0.0
+        return OptimizationSpec(
+            vdd_levels=vdd_levels,
+            vbb_levels=vbb_levels,
+            pe_budget=pe_budget,
+            t_max=calib.t_max,
+            t_heatsink=calib.t_heatsink_max,
+            knob_ranges=knob_ranges,
+        )
+
+
+# ----------------------------------------------------------------------
+# Table 1.
+# ----------------------------------------------------------------------
+BASELINE = Environment("Baseline")
+TS = Environment("TS", checker=True)
+TS_ASV = Environment("TS+ASV", checker=True, asv=True)
+TS_ASV_ABB = Environment("TS+ASV+ABB", checker=True, asv=True, abb=True)
+TS_ASV_Q = Environment("TS+ASV+Q", checker=True, asv=True, queue=True)
+TS_ASV_Q_FU = Environment(
+    "TS+ASV+Q+FU", checker=True, asv=True, queue=True, fu=True
+)
+ALL_TECHNIQUES = Environment(
+    "ALL", checker=True, asv=True, abb=True, queue=True, fu=True
+)
+NOVAR = Environment("NoVar", variation=False)
+
+#: The adaptable environments of Figures 10-12, in presentation order.
+ADAPTIVE_ENVIRONMENTS: List[Environment] = [
+    TS,
+    TS_ASV,
+    TS_ASV_ABB,
+    TS_ASV_Q,
+    TS_ASV_Q_FU,
+    ALL_TECHNIQUES,
+]
+
+#: The Table 2 / Figure 13 environments (knob-set variations around TS).
+TS_ABB = Environment("TS+ABB", checker=True, abb=True)
+CONTROLLER_STUDY_ENVIRONMENTS: List[Environment] = [
+    TS,
+    TS_ABB,
+    TS_ASV,
+    Environment("TS+ABB+ASV", checker=True, asv=True, abb=True),
+]
+
+ALL_ENVIRONMENTS: List[Environment] = (
+    [BASELINE] + ADAPTIVE_ENVIRONMENTS + [NOVAR]
+)
+
+
+def by_name(name: str) -> Environment:
+    """Look up any predefined environment by its Table 1 name."""
+    for env in ALL_ENVIRONMENTS + CONTROLLER_STUDY_ENVIRONMENTS:
+        if env.name == name:
+            return env
+    raise KeyError(f"no environment named {name!r}")

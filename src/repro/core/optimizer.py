@@ -1,0 +1,375 @@
+"""The Freq and Power algorithms (paper Sections 4.2 and 4.3.1).
+
+Both algorithms operate per subsystem, independently, which is what makes
+the optimisation tractable (and trainable):
+
+* **Freq**: for each subsystem, find the maximum frequency it can cycle
+  at using any available (Vdd, Vbb), without violating ``TMAX`` or its
+  error-rate budget ``PEMAX / n``.  The core frequency is the minimum
+  over subsystems.
+* **Power**: given the chosen core frequency, each subsystem re-picks the
+  (Vdd, Vbb) that minimises its power under the same constraints.
+
+The *Exhaustive* implementation here sweeps the full knob grid of
+Figure 7(a); it is the oracle the fuzzy controllers are trained against
+(Section 4.3.1) and the ``Exh-Dyn`` environment of the evaluation.
+
+Everything is vectorised over a :class:`SubsystemArrays` batch, which is
+either a view of a real :class:`~repro.chip.chip.Core` or a synthetic
+batch of training samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.special import ndtri
+
+from ..calibration import DEFAULT_CALIBRATION, Calibration
+from ..circuits.delay import DEFAULT_DELAY_PARAMS, DelayParams, gate_delay
+from ..circuits.knobs import (
+    DEFAULT_KNOB_RANGES,
+    DEFAULT_VT_SENSITIVITIES,
+    KnobRanges,
+    VtSensitivities,
+    threshold_voltage,
+)
+from ..circuits.leakage import static_power
+from ..chip.chip import Core
+from ..timing.paths import StageModifiers
+
+
+@dataclass
+class SubsystemArrays:
+    """Struct-of-arrays inputs for a batch of (pseudo-)subsystems.
+
+    ``stage_mean_rel`` already *includes* the random-variation tail and
+    any technique delay scaling; ``stage_sigma_rel`` likewise includes
+    tilt scaling.  Both are in units of the nominal cycle time.
+    """
+
+    vt0_timing: np.ndarray
+    leff_timing: np.ndarray
+    vt0_leak: np.ndarray
+    rth: np.ndarray
+    kdyn: np.ndarray
+    ksta: np.ndarray
+    alpha: np.ndarray  # activity factor, accesses/cycle
+    rho: np.ndarray  # exercises/instruction (Eq 4)
+    stage_mean_rel: np.ndarray
+    stage_sigma_rel: np.ndarray
+    power_factor: np.ndarray  # e.g. 1.3 on a low-slope FU
+    calib: Calibration = DEFAULT_CALIBRATION
+    delay_params: DelayParams = DEFAULT_DELAY_PARAMS
+    vt_sens: VtSensitivities = DEFAULT_VT_SENSITIVITIES
+    vt_mean: float = 0.150
+
+    def __post_init__(self) -> None:
+        n = self.vt0_timing.shape[0]
+        for name in (
+            "leff_timing",
+            "vt0_leak",
+            "rth",
+            "kdyn",
+            "ksta",
+            "alpha",
+            "rho",
+            "stage_mean_rel",
+            "stage_sigma_rel",
+            "power_factor",
+        ):
+            if getattr(self, name).shape != (n,):
+                raise ValueError(f"{name} must have shape ({n},)")
+        vt_design = threshold_voltage(
+            self.vt_mean,
+            self.calib.t_design,
+            self.calib.vdd_nominal,
+            0.0,
+            self.vt_sens,
+        )
+        self._nominal_gate_delay = float(
+            gate_delay(
+                self.calib.vdd_nominal,
+                vt_design,
+                1.0,
+                self.calib.t_design,
+                self.delay_params,
+            )
+        )
+
+    def __len__(self) -> int:
+        return self.vt0_timing.shape[0]
+
+    # -- physics, broadcasting over leading knob axes -------------------
+    def delay_factor(self, vdd, vbb, temp):
+        """Gate-delay factor relative to the nominal design point."""
+        vt = threshold_voltage(self.vt0_timing, temp, vdd, vbb, self.vt_sens)
+        delay = gate_delay(vdd, vt, self.leff_timing, temp, self.delay_params)
+        return delay / self._nominal_gate_delay
+
+    def p_static(self, vdd, vbb, temp):
+        """Leakage power in watts."""
+        vt = threshold_voltage(self.vt0_leak, temp, vdd, vbb, self.vt_sens)
+        return static_power(self.ksta, vdd, temp, vt) * self.power_factor
+
+    def p_dynamic(self, vdd, freq):
+        """Dynamic power in watts."""
+        return (
+            self.kdyn
+            * self.alpha
+            * np.asarray(vdd, dtype=float) ** 2
+            * freq
+            * self.power_factor
+        )
+
+    def budget_period_rel(self, vdd, vbb, temp, z_budget):
+        """Cycle-relative period satisfying the stage PE budget.
+
+        ``z_budget`` is the allowed z-score (``z_free`` for error-free
+        operation, ``Qinv(budget/rho)`` under timing speculation).
+        """
+        d = self.delay_factor(vdd, vbb, temp)
+        return d * (self.stage_mean_rel + z_budget * self.stage_sigma_rel)
+
+
+def core_subsystem_arrays(
+    core: Core,
+    activity: np.ndarray,
+    rho: np.ndarray,
+    modifiers: Optional[StageModifiers] = None,
+    power_factor: Optional[np.ndarray] = None,
+) -> SubsystemArrays:
+    """Build the optimiser view of a real core for one workload phase."""
+    n = core.n_subsystems
+    mean = core.stage_mean_rel + core.tail_rel
+    sigma = core.stage_sigma_rel.copy()
+    if modifiers is not None:
+        free = mean + core.calib.z_free * sigma
+        sigma = sigma * modifiers.sigma_scale
+        mean = free - core.calib.z_free * sigma
+        mean = mean * modifiers.delay_scale
+        sigma = sigma * modifiers.delay_scale
+    return SubsystemArrays(
+        vt0_timing=core.vt0_timing,
+        leff_timing=core.leff_timing,
+        vt0_leak=core.vt0_leak,
+        rth=core.rth,
+        kdyn=core.kdyn,
+        ksta=core.ksta,
+        alpha=np.asarray(activity, dtype=float),
+        rho=np.asarray(rho, dtype=float),
+        stage_mean_rel=mean,
+        stage_sigma_rel=sigma,
+        power_factor=(
+            power_factor if power_factor is not None else np.ones(n)
+        ),
+        calib=core.calib,
+        delay_params=core.delay_params,
+        vt_sens=core.vt_sens,
+        vt_mean=core.vt_mean,
+    )
+
+
+@dataclass(frozen=True)
+class OptimizationSpec:
+    """Knob availability and constraints for one environment."""
+
+    vdd_levels: np.ndarray  # e.g. the full ASV grid, or just [1.0]
+    vbb_levels: np.ndarray  # e.g. the full ABB grid, or just [0.0]
+    pe_budget: float  # per-subsystem errors/instruction; 0 = error-free
+    t_max: float
+    t_heatsink: float
+    knob_ranges: KnobRanges = DEFAULT_KNOB_RANGES
+
+    def __post_init__(self) -> None:
+        if self.pe_budget < 0.0:
+            raise ValueError("pe_budget cannot be negative")
+        if len(self.vdd_levels) == 0 or len(self.vbb_levels) == 0:
+            raise ValueError("knob level arrays cannot be empty")
+
+
+def budget_z(subsystems: SubsystemArrays, pe_budget: float) -> np.ndarray:
+    """Allowed z-score per subsystem for an error budget (Eq 4 inverted).
+
+    ``pe_budget <= 0`` (no checker) demands error-free operation: the
+    z-score is the design's ``z_free``.  Otherwise ``z = Qinv(budget /
+    rho)``, clamped into ``[0, z_free]`` — never slower than error-free,
+    never past the distribution median.
+    """
+    z_free = subsystems.calib.z_free
+    if pe_budget <= 0.0:
+        return np.full(len(subsystems), z_free)
+    rho = np.maximum(subsystems.rho, 1e-12)
+    quantile = np.minimum(pe_budget / rho, 0.5)
+    z = ndtri(1.0 - quantile)
+    return np.clip(z, 0.0, z_free)
+
+
+@dataclass(frozen=True)
+class FreqResult:
+    """Per-subsystem outcome of the Freq algorithm."""
+
+    f_max: np.ndarray  # hertz; max frequency each subsystem supports
+    vdd: np.ndarray  # the (Vdd, Vbb) achieving it
+    vbb: np.ndarray
+    feasible: np.ndarray  # False where no knob setting met TMAX
+
+    def core_frequency(self, knob_ranges: KnobRanges = DEFAULT_KNOB_RANGES) -> float:
+        """MIN over subsystems, snapped down to the 100 MHz step grid."""
+        return knob_ranges.clamp_frequency(float(self.f_max.min()))
+
+    def min_rest(self, index: int) -> float:
+        """``Min(f)_rest``: bottleneck excluding subsystem ``index``."""
+        mask = np.ones(len(self.f_max), dtype=bool)
+        mask[index] = False
+        return float(self.f_max[mask].min())
+
+
+def _thermal_fixed_point(
+    subsystems: SubsystemArrays, vdd, vbb, freq, t_heatsink, iterations: int = 25
+):
+    """Iterate Eq 6-9 to steady state (vectorised, no damping needed)."""
+    p_dyn = subsystems.p_dynamic(vdd, freq)
+    temp = np.broadcast_to(
+        np.asarray(t_heatsink + 5.0), np.broadcast_shapes(p_dyn.shape, np.shape(vbb))
+    ).copy()
+    for _ in range(iterations):
+        p_sta = subsystems.p_static(vdd, vbb, temp)
+        temp = np.minimum(t_heatsink + subsystems.rth * (p_dyn + p_sta), 500.0)
+    return temp, p_dyn
+
+
+def freq_algorithm(
+    subsystems: SubsystemArrays, spec: OptimizationSpec
+) -> FreqResult:
+    """Exhaustive Freq (Section 4.3.1): sweep (Vdd, Vbb), maximise f.
+
+    For every knob combination the error-budget frequency and the
+    thermal-limit frequency are solved jointly (the budget period depends
+    on temperature, which depends on frequency); the subsystem's
+    ``f_max`` is the best feasible combination.
+    """
+    calib = subsystems.calib
+    vdd = spec.vdd_levels[:, None, None]
+    vbb = spec.vbb_levels[None, :, None]
+    z = budget_z(subsystems, spec.pe_budget)[None, None, :]
+    t_cycle = 1.0 / calib.f_nominal
+
+    f = np.full(
+        (len(spec.vdd_levels), len(spec.vbb_levels), len(subsystems)),
+        spec.knob_ranges.f_min,
+    )
+    temp = np.full_like(f, spec.t_heatsink + 5.0)
+    # Joint fixed point over (f, T): alternate the PE-budget frequency,
+    # the thermal cap, and the temperature solution.
+    for _ in range(30):
+        period = subsystems.budget_period_rel(vdd, vbb, temp, z) * t_cycle
+        f_pe = 1.0 / period
+        # Thermal cap: T(f) <= TMAX with leakage evaluated at TMAX.
+        p_sta_hot = subsystems.p_static(vdd, vbb, spec.t_max)
+        headroom = spec.t_max - spec.t_heatsink - subsystems.rth * p_sta_hot
+        denom = subsystems.kdyn * subsystems.alpha * vdd**2 * subsystems.power_factor
+        with np.errstate(divide="ignore"):
+            f_thermal = np.where(
+                headroom > 0.0, headroom / (subsystems.rth * denom), 0.0
+            )
+        f_new = np.clip(
+            np.minimum(f_pe, f_thermal), spec.knob_ranges.f_min, spec.knob_ranges.f_max
+        )
+        temp, _ = _thermal_fixed_point(
+            subsystems, vdd, vbb, f_new, spec.t_heatsink, iterations=8
+        )
+        if np.allclose(f_new, f, rtol=1e-6):
+            f = f_new
+            break
+        f = f_new
+
+    feasible_grid = temp <= spec.t_max + 0.05
+    f_grid = np.where(feasible_grid, f, -np.inf)
+    flat = f_grid.reshape(-1, len(subsystems))
+    best = np.argmax(flat, axis=0)
+    iv, ib = np.unravel_index(best, f_grid.shape[:2])
+    f_max = flat[best, np.arange(len(subsystems))]
+    feasible = np.isfinite(f_max)
+    f_max = np.where(feasible, f_max, spec.knob_ranges.f_min)
+    return FreqResult(
+        f_max=f_max,
+        vdd=spec.vdd_levels[iv],
+        vbb=spec.vbb_levels[ib],
+        feasible=feasible,
+    )
+
+
+@dataclass(frozen=True)
+class PowerResult:
+    """Per-subsystem outcome of the Power algorithm at a core frequency."""
+
+    vdd: np.ndarray
+    vbb: np.ndarray
+    temperature: np.ndarray  # kelvin at the chosen settings
+    p_dynamic: np.ndarray
+    p_static: np.ndarray
+    feasible: np.ndarray  # False where no setting met both constraints
+
+    @property
+    def p_total(self) -> np.ndarray:
+        """Per-subsystem total power in watts."""
+        return self.p_dynamic + self.p_static
+
+    def core_power(self) -> float:
+        """Sum of subsystem powers in watts (excl. L2/checker)."""
+        return float(self.p_total.sum())
+
+    def max_temperature(self) -> float:
+        """Hottest subsystem temperature in kelvin."""
+        return float(self.temperature.max())
+
+
+def power_algorithm(
+    subsystems: SubsystemArrays, f_core: float, spec: OptimizationSpec
+) -> PowerResult:
+    """Exhaustive Power (Section 4.3.1): minimise power at ``f_core``.
+
+    Each subsystem independently picks the (Vdd, Vbb) with the lowest
+    total power among those that keep it within ``TMAX`` and its error
+    budget at the given core frequency.
+    """
+    f_core = np.asarray(f_core, dtype=float)
+    if np.any(f_core <= 0.0):
+        raise ValueError("core frequency must be positive")
+    calib = subsystems.calib
+    vdd = spec.vdd_levels[:, None, None]
+    vbb = spec.vbb_levels[None, :, None]
+    z = budget_z(subsystems, spec.pe_budget)[None, None, :]
+    t_cycle = 1.0 / calib.f_nominal
+
+    temp, p_dyn = _thermal_fixed_point(
+        subsystems, vdd, vbb, f_core, spec.t_heatsink
+    )
+    p_sta = subsystems.p_static(vdd, vbb, temp)
+    period_needed = 1.0 / f_core
+    period_have = subsystems.budget_period_rel(vdd, vbb, temp, z) * t_cycle
+    ok = (temp <= spec.t_max + 0.05) & (period_have <= period_needed * (1 + 1e-9))
+
+    total = p_dyn + p_sta
+    cost = np.where(ok, total, np.inf)
+    # p_dyn does not depend on Vbb, so broadcast it to the full knob grid
+    # before flattening alongside the cost array.
+    p_dyn = np.broadcast_to(p_dyn, cost.shape)
+    temp = np.broadcast_to(temp, cost.shape)
+    p_sta = np.broadcast_to(p_sta, cost.shape)
+    flat = cost.reshape(-1, len(subsystems))
+    best = np.argmin(flat, axis=0)
+    iv, ib = np.unravel_index(best, cost.shape[:2])
+    sub_idx = np.arange(len(subsystems))
+    feasible = np.isfinite(flat[best, sub_idx])
+    return PowerResult(
+        vdd=spec.vdd_levels[iv],
+        vbb=spec.vbb_levels[ib],
+        temperature=temp.reshape(-1, len(subsystems))[best, sub_idx],
+        p_dynamic=p_dyn.reshape(-1, len(subsystems))[best, sub_idx],
+        p_static=p_sta.reshape(-1, len(subsystems))[best, sub_idx],
+        feasible=feasible,
+    )

@@ -1,0 +1,166 @@
+"""Retuning cycles (paper Section 4.3.3, Figure 6 right-hand side).
+
+After the controller picks a configuration, sensors may log a constraint
+violation (error-rate within microseconds, thermal/power within a thermal
+time constant).  The system then adjusts *frequency only* — it does not
+re-run the controller:
+
+* on violation: decrease ``f`` exponentially (1, 2, 4, 8... steps of
+  100 MHz) until the violation clears, then ramp up in single steps to
+  just below the violating frequency;
+* with no violation: probe one step up; if it immediately violates, the
+  controller's output was near-optimal (*NoChange*), otherwise keep
+  ramping (*LowFreq*).
+
+The five possible outcomes (Figure 13) are the initial violation kind or
+one of NoChange / LowFreq.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from ..chip.chip import Core
+from ..circuits.knobs import DEFAULT_KNOB_RANGES, KnobRanges
+from .state import Configuration, EvaluatedState, Violation, evaluate_configuration
+
+
+class Outcome(Enum):
+    """Figure 13 outcome classes for one controller invocation."""
+
+    NO_CHANGE = "NoChange"
+    LOW_FREQ = "LowFreq"
+    ERROR = "Error"
+    TEMP = "Temp"
+    POWER = "Power"
+
+
+_VIOLATION_OUTCOME = {
+    Violation.ERROR: Outcome.ERROR,
+    Violation.TEMPERATURE: Outcome.TEMP,
+    Violation.POWER: Outcome.POWER,
+}
+
+
+@dataclass(frozen=True)
+class RetuningResult:
+    """Final state after the retuning cycles converge."""
+
+    config: Configuration
+    state: EvaluatedState
+    outcome: Outcome
+    initial_violation: Violation
+    f_initial: float
+    steps: int  # total frequency adjustments performed
+
+    @property
+    def f_final(self) -> float:
+        """The converged core frequency in hertz."""
+        return self.config.f_core
+
+
+def retune(
+    core: Core,
+    config: Configuration,
+    activity: np.ndarray,
+    rho: np.ndarray,
+    *,
+    pe_max: float,
+    checker: bool = True,
+    knob_ranges: KnobRanges = DEFAULT_KNOB_RANGES,
+    t_heatsink: Optional[float] = None,
+    max_adjustments: int = 64,
+) -> RetuningResult:
+    """Run the Section 4.3.3 retuning cycles to a safe, maximal frequency.
+
+    Args:
+        core: The physical core.
+        config: The controller's chosen configuration.
+        activity: Per-subsystem activity factors of the running phase.
+        rho: Per-subsystem error exposures.
+        pe_max: The error constraint (``PEMAX``; effectively zero for
+            environments without a checker).
+        checker: Whether checker power is charged.
+        knob_ranges: Legal frequency grid (100 MHz steps).
+        t_heatsink: Heat-sink temperature.
+        max_adjustments: Safety bound on total steps.
+    """
+    step = knob_ranges.f_step
+    f_min, f_max = knob_ranges.f_min, knob_ranges.f_max
+
+    def check(freq: float) -> "tuple[EvaluatedState, Violation]":
+        state = evaluate_configuration(
+            core,
+            config.with_frequency(freq),
+            activity,
+            rho,
+            t_heatsink,
+            checker=checker,
+        )
+        return state, state.violation(core, pe_max=pe_max)
+
+    f = config.f_core
+    state, violation = check(f)
+    initial_violation = violation
+    steps = 0
+
+    if violation is not Violation.NONE:
+        # Exponential back-off: 1, 2, 4, 8... steps per move.
+        move = 1
+        while violation is not Violation.NONE and f > f_min and steps < max_adjustments:
+            f = max(f - move * step, f_min)
+            state, violation = check(f)
+            steps += 1
+            move = min(move * 2, 8)
+        # Gradual single-step ramp back up to just below the violation.
+        while f + step <= config.f_core and steps < max_adjustments:
+            probe_state, probe_violation = check(f + step)
+            steps += 1
+            if probe_violation is not Violation.NONE:
+                break
+            f += step
+            state = probe_state
+        outcome = _VIOLATION_OUTCOME[initial_violation]
+        final = config.with_frequency(f)
+        return RetuningResult(
+            config=final,
+            state=state,
+            outcome=outcome,
+            initial_violation=initial_violation,
+            f_initial=config.f_core,
+            steps=steps,
+        )
+
+    # No violation: probe upward.
+    probe_state, probe_violation = check(min(f + step, f_max))
+    steps += 1
+    if probe_violation is not Violation.NONE or f + step > f_max:
+        return RetuningResult(
+            config=config.with_frequency(f),
+            state=state,
+            outcome=Outcome.NO_CHANGE,
+            initial_violation=Violation.NONE,
+            f_initial=config.f_core,
+            steps=steps,
+        )
+    f += step
+    state = probe_state
+    while f + step <= f_max and steps < max_adjustments:
+        probe_state, probe_violation = check(f + step)
+        steps += 1
+        if probe_violation is not Violation.NONE:
+            break
+        f += step
+        state = probe_state
+    return RetuningResult(
+        config=config.with_frequency(f),
+        state=state,
+        outcome=Outcome.LOW_FREQ,
+        initial_violation=Violation.NONE,
+        f_initial=config.f_core,
+        steps=steps,
+    )

@@ -1,0 +1,153 @@
+"""Ground-truth evaluation of an operating configuration.
+
+The controller *chooses* a configuration (frequency, per-subsystem
+voltages, technique state); the physical chip then settles wherever the
+physics says.  This module computes that settled state — temperatures,
+powers, error rate — and checks it against the three constraints of
+Section 4.1 (``TMAX``, ``PMAX``, ``PEMAX``).  It is what the sensors of
+Section 4.3.2 observe, and what the retuning cycles react to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from ..chip.chip import Core
+from ..mitigation.base import TechniqueState
+from ..thermal.solver import solve_temperatures
+from ..timing.errors import stage_error_rates
+from ..timing.paths import StageDelays, stage_delays
+
+
+class Violation(Enum):
+    """Which constraint a configuration violates (checked in this order:
+    the PE counter fires within microseconds, thermal/power sensors within
+    a thermal time constant — Section 4.3.3)."""
+
+    NONE = "none"
+    ERROR = "error"
+    TEMPERATURE = "temperature"
+    POWER = "power"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A complete actuation state for one core."""
+
+    f_core: float  # hertz
+    vdd: np.ndarray  # per-subsystem volts
+    vbb: np.ndarray  # per-subsystem volts
+    technique: TechniqueState
+
+    def __post_init__(self) -> None:
+        if self.f_core <= 0.0:
+            raise ValueError("core frequency must be positive")
+        if self.vdd.shape != self.vbb.shape:
+            raise ValueError("vdd and vbb must have matching shapes")
+
+    def with_frequency(self, f_core: float) -> "Configuration":
+        """Return a copy at a different frequency (retuning step)."""
+        return Configuration(
+            f_core=f_core, vdd=self.vdd, vbb=self.vbb, technique=self.technique
+        )
+
+
+@dataclass(frozen=True)
+class EvaluatedState:
+    """The settled physical state of a core under a configuration."""
+
+    config: Configuration
+    temperature: np.ndarray  # kelvin, per subsystem
+    p_dynamic: np.ndarray
+    p_static: np.ndarray
+    pe_per_subsystem: np.ndarray  # errors/instruction
+    l2_power: float
+    checker_power: float
+    delays: StageDelays
+
+    @property
+    def pe_total(self) -> float:
+        """Whole-processor errors per instruction (Eq 4)."""
+        return float(self.pe_per_subsystem.sum())
+
+    @property
+    def subsystem_power(self) -> float:
+        """Total power of the 15 subsystems in watts."""
+        return float((self.p_dynamic + self.p_static).sum())
+
+    @property
+    def total_power(self) -> float:
+        """Core + L1s (in subsystems) + L2 + checker, in watts."""
+        return self.subsystem_power + self.l2_power + self.checker_power
+
+    @property
+    def max_temperature(self) -> float:
+        """Hottest subsystem in kelvin."""
+        return float(self.temperature.max())
+
+    def violation(self, core: Core, pe_max: Optional[float] = None) -> Violation:
+        """Classify the first constraint this state violates."""
+        calib = core.calib
+        limit = calib.pe_max if pe_max is None else pe_max
+        if self.pe_total > limit:
+            return Violation.ERROR
+        if self.max_temperature > calib.t_max + 0.05:
+            return Violation.TEMPERATURE
+        if self.total_power > calib.p_max + 1e-9:
+            return Violation.POWER
+        return Violation.NONE
+
+
+def evaluate_configuration(
+    core: Core,
+    config: Configuration,
+    activity: np.ndarray,
+    rho: np.ndarray,
+    t_heatsink: Optional[float] = None,
+    *,
+    checker: bool = True,
+) -> EvaluatedState:
+    """Settle the physics for a configuration and workload activity.
+
+    Args:
+        core: The physical core.
+        config: Frequency, voltages and technique state to apply.
+        activity: Per-subsystem activity factors (accesses/cycle).
+        rho: Per-subsystem exercises/instruction (Eq 4 weights).
+        t_heatsink: Heat-sink temperature (defaults to the calibrated
+            ``TH_MAX``).
+        checker: Whether the Diva-like checker is present (its power is
+            charged to the core); False for Baseline/NoVar.
+    """
+    calib = core.calib
+    th = calib.t_heatsink_max if t_heatsink is None else t_heatsink
+    power_factors = config.technique.power_factors(core)
+    modifiers = config.technique.stage_modifiers(core)
+
+    activity = np.asarray(activity, dtype=float) * power_factors
+    solution = solve_temperatures(
+        core, config.vdd, config.vbb, config.f_core, activity, th
+    )
+    # Leakage also scales with the enabled replica's extra devices.
+    p_static = solution.p_static * power_factors
+
+    delays = stage_delays(
+        core, config.vdd, config.vbb, solution.temperature, modifiers
+    )
+    pe = stage_error_rates(config.f_core, delays, rho)
+
+    p_dyn_total = float(solution.p_dynamic.sum())
+    return EvaluatedState(
+        config=config,
+        temperature=solution.temperature,
+        p_dynamic=solution.p_dynamic,
+        p_static=p_static,
+        pe_per_subsystem=pe,
+        l2_power=core.l2_power(config.f_core),
+        checker_power=calib.checker_power_fraction * p_dyn_total if checker else 0.0,
+        delays=delays,
+    )

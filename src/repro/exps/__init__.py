@@ -1,0 +1,52 @@
+"""Experiment harness: one module per paper table/figure (see DESIGN.md)."""
+
+from .area_table import area_rows, run_area_table
+from .fig1_paths import Fig1Result, run_fig1
+from .fig2_taxonomy import Fig2Result, run_fig2
+from .fig8_tradeoff import Fig8Result, run_fig8
+from .fig9_surfaces import Fig9Result, run_fig9
+from .fig13_outcomes import OPT_CONFIGS, Fig13Result, run_fig13
+from .ladder import MODES, LadderResult, run_ladder
+from .reporting import ascii_chart, format_series, format_table
+from .retiming_comparison import RetimingComparison, run_retiming_comparison
+from .sensitivity import SensitivityPoint, SensitivityResult, run_sensitivity
+from .runner import (
+    ExperimentRunner,
+    PhaseResult,
+    RunnerConfig,
+    SuiteSummary,
+)
+from .table2_accuracy import Table2Result, run_table2
+
+__all__ = [
+    "ExperimentRunner",
+    "Fig13Result",
+    "Fig1Result",
+    "Fig2Result",
+    "Fig8Result",
+    "Fig9Result",
+    "LadderResult",
+    "MODES",
+    "OPT_CONFIGS",
+    "PhaseResult",
+    "RunnerConfig",
+    "RetimingComparison",
+    "SensitivityPoint",
+    "SensitivityResult",
+    "SuiteSummary",
+    "Table2Result",
+    "area_rows",
+    "ascii_chart",
+    "format_series",
+    "format_table",
+    "run_area_table",
+    "run_fig1",
+    "run_fig13",
+    "run_fig2",
+    "run_fig8",
+    "run_fig9",
+    "run_ladder",
+    "run_retiming_comparison",
+    "run_sensitivity",
+    "run_table2",
+]

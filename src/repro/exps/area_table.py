@@ -1,0 +1,22 @@
+"""Figure 7(d): the EVAL area-overhead table."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..mitigation.area import AreaBudget, area_budget
+
+
+def run_area_table(include_abb: bool = False) -> AreaBudget:
+    """Compute the area budget (preferred configuration omits ABB)."""
+    return area_budget(include_abb=include_abb)
+
+
+def area_rows(budget: AreaBudget) -> List[List[str]]:
+    """Render the Figure 7(d) rows plus the total."""
+    rows = [
+        [name, f"{percent:.1f}"]
+        for name, percent in budget.as_percent().items()
+    ]
+    rows.append(["Total", f"{100 * budget.total:.1f}"])
+    return rows

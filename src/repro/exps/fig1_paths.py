@@ -1,0 +1,78 @@
+"""Figure 1: how variation turns path-delay spread into timing errors.
+
+(a) dynamic path-delay distribution of a stage without variation,
+(b) the same stage on a variation-afflicted chip (spread out, slower),
+(c) the stage's PE-vs-frequency curve, and
+(d) the error rate of a small multi-stage pipeline (Eq 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..calibration import DEFAULT_CALIBRATION
+from ..chip.chip import build_core, build_novar_core
+from ..timing.errors import processor_error_rate, stage_error_rates
+from ..timing.paths import stage_delays
+from ..variation.population import VariationModel
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Delay histograms and PE curves for one sample stage/chip."""
+
+    delay_grid: np.ndarray  # seconds
+    pdf_nominal: np.ndarray  # Fig 1(a)
+    pdf_varied: np.ndarray  # Fig 1(b)
+    t_nominal: float  # T_nom (cycle at 4 GHz)
+    t_varied: float  # T_var (error-free period under variation)
+    freqs: np.ndarray  # hertz
+    pe_stage: np.ndarray  # Fig 1(c): single stage
+    pe_pipeline: np.ndarray  # Fig 1(d): all stages (Eq 4)
+
+
+def run_fig1(
+    subsystem: str = "IntQ", chip_seed: int = 42, chip_index: int = 0
+) -> Fig1Result:
+    """Build the Figure 1 curves for one subsystem of one sample chip."""
+    calib = DEFAULT_CALIBRATION
+    novar = build_novar_core(calib=calib)
+    chip = VariationModel().population(chip_index + 1, seed=chip_seed)[chip_index]
+    varied = build_core(chip, 0, calib=calib)
+
+    index = novar.floorplan.index_of(subsystem)
+    n = novar.n_subsystems
+    vdd = np.full(n, calib.vdd_nominal)
+    vbb = np.zeros(n)
+    delays_nominal = stage_delays(novar, vdd, vbb, calib.t_design)
+    delays_varied = stage_delays(varied, vdd, vbb, calib.t_design)
+
+    t_cycle = 1.0 / calib.f_nominal
+    grid = np.linspace(0.3 * t_cycle, 1.6 * t_cycle, 400)
+
+    def normal_pdf(mean, sigma):
+        return np.exp(-0.5 * ((grid - mean) / sigma) ** 2) / (
+            sigma * np.sqrt(2 * np.pi)
+        )
+
+    freqs = np.linspace(0.6 * calib.f_nominal, 1.4 * calib.f_nominal, 200)
+    rho = varied.rho_ref
+    pe_stage = stage_error_rates(freqs[:, None], delays_varied, rho)[:, index]
+    pe_pipeline = processor_error_rate(freqs[:, None], delays_varied, rho)
+
+    return Fig1Result(
+        delay_grid=grid,
+        pdf_nominal=normal_pdf(
+            float(delays_nominal.mean[index]), float(delays_nominal.sigma[index])
+        ),
+        pdf_varied=normal_pdf(
+            float(delays_varied.mean[index]), float(delays_varied.sigma[index])
+        ),
+        t_nominal=float(delays_nominal.error_free_period()[index]),
+        t_varied=float(delays_varied.error_free_period()[index]),
+        freqs=freqs,
+        pe_stage=pe_stage,
+        pe_pipeline=pe_pipeline,
+    )

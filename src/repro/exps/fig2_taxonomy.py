@@ -1,0 +1,83 @@
+"""Figure 2: the EVAL curve-transform taxonomy, demonstrated numerically.
+
+(a) tolerating errors: Perf(f) peaks past f_var;
+(b) Tilt: slope falls, f_var unchanged;
+(c) Shift: the whole curve moves right;
+(d) Reshape: slow stages right, fast stages left;
+(e) Adapt: the curve moves between phases, so f_opt must follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..calibration import DEFAULT_CALIBRATION
+from ..chip.chip import build_core
+from ..core.framework import ToleranceCurve, reshape, shift, tilt, tolerate
+from ..microarch.pipeline import DEFAULT_CORE_CONFIG
+from ..microarch.simulator import measure_workload
+from ..microarch.workloads import by_name
+from ..timing.errors import processor_error_rate
+from ..timing.paths import stage_delays
+from ..timing.speculation import PerfParams
+from ..variation.population import VariationModel
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """PE(f) curves before/after each transform, plus the Perf(f) curve."""
+
+    freqs: np.ndarray
+    tolerance: ToleranceCurve  # Fig 2(a)
+    pe_before: np.ndarray
+    pe_tilt: np.ndarray  # Fig 2(b)
+    pe_shift: np.ndarray  # Fig 2(c)
+    pe_reshape: np.ndarray  # Fig 2(d)
+    pe_phases: Dict[str, np.ndarray]  # Fig 2(e): PE curve per phase
+
+    def f_var(self) -> float:
+        """Frequency where the untransformed curve leaves zero."""
+        index = int(np.argmax(self.pe_before > 1e-12))
+        return float(self.freqs[index])
+
+
+def run_fig2(chip_seed: int = 42, workload: str = "gcc*") -> Fig2Result:
+    """Compute every Figure 2 panel on one sample chip."""
+    calib = DEFAULT_CALIBRATION
+    chip = VariationModel().population(1, seed=chip_seed)[0]
+    core = build_core(chip, 0, calib=calib)
+    profile = by_name(workload)
+    meas = measure_workload(profile, DEFAULT_CORE_CONFIG)
+
+    n = core.n_subsystems
+    vdd = np.full(n, calib.vdd_nominal)
+    vbb = np.zeros(n)
+    delays = stage_delays(core, vdd, vbb, calib.t_design)
+    freqs = np.linspace(0.6 * calib.f_nominal, 1.3 * calib.f_nominal, 240)
+    rho = meas.rho
+
+    def pe(d):
+        return processor_error_rate(freqs[:, None], d, rho)
+
+    params = PerfParams.from_calibration(meas.cpi_comp, meas.l2_miss_rate, calib)
+    phases = {}
+    for phase in profile.phases:
+        phase_meas = measure_workload(
+            profile.phase_profile(phase), DEFAULT_CORE_CONFIG
+        )
+        phases[phase.name] = processor_error_rate(
+            freqs[:, None], delays, phase_meas.rho
+        )
+
+    return Fig2Result(
+        freqs=freqs,
+        tolerance=tolerate(delays, rho, params, freqs),
+        pe_before=pe(delays),
+        pe_tilt=pe(tilt(delays, 1.6)),
+        pe_shift=pe(shift(delays, 0.93)),
+        pe_reshape=pe(reshape(delays, slow_factor=0.93, fast_factor=1.05)),
+        pe_phases=phases,
+    )

@@ -1,0 +1,83 @@
+"""Plain-text rendering of every experiment's rows/series.
+
+The benchmark harness prints the same rows the paper's tables and figure
+captions report; these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Render a fixed-width text table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = [title]
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(title: str, xs, ys, x_name: str = "x", y_name: str = "y",
+                  max_points: int = 12) -> str:
+    """Render an (x, y) series, subsampled for readability."""
+    n = len(xs)
+    step = max(1, n // max_points)
+    rows = [[f"{xs[i]:.4g}", f"{ys[i]:.4g}"] for i in range(0, n, step)]
+    return format_table(title, [x_name, y_name], rows)
+
+
+def ascii_chart(
+    title: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 14,
+    log_y: bool = False,
+) -> str:
+    """Render an (x, y) series as an ASCII scatter/line chart.
+
+    No plotting dependency is available offline, so figures are emitted as
+    terminal graphics: good enough to see onsets, cliffs and crossovers.
+    ``log_y`` plots log10(y) (useful for PE curves); non-positive values
+    are dropped in that mode.
+    """
+    import math
+
+    points = [
+        (float(x), float(y))
+        for x, y in zip(xs, ys)
+        if not log_y or y > 0.0
+    ]
+    if not points:
+        return f"{title}\n(no positive data to plot)"
+    values = [(x, math.log10(y) if log_y else y) for x, y in points]
+    x_lo = min(v[0] for v in values)
+    x_hi = max(v[0] for v in values)
+    y_lo = min(v[1] for v in values)
+    y_hi = max(v[1] for v in values)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    cells = [[" "] * width for _ in range(height)]
+    for x, y in values:
+        col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((y_hi - y) / y_span * (height - 1)))
+        cells[row][col] = "*"
+
+    y_top = f"{y_hi:.3g}" + (" (log10)" if log_y else "")
+    y_bot = f"{y_lo:.3g}"
+    lines = [title, f"  y: {y_bot} .. {y_top}"]
+    for row in cells:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"   x: {x_lo:.4g} .. {x_hi:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,320 @@
+"""Monte-Carlo experiment driver (paper Section 5 methodology).
+
+Each experiment runs a suite of SPEC-2000-like workloads on every core of
+a population of chips with independently drawn variation maps, for every
+(environment, adaptation-mode) pair.  Results are phase-weighted per
+workload, then averaged — mirroring the paper's "each application is run
+on each of the 4 cores of each of 100 chips" and Figure 10-12 reporting.
+
+Scale knobs: the paper uses 100 chips x 4 cores.  That is available
+(``RunnerConfig(n_chips=100, cores_per_chip=4)``), but the default is a
+smaller population that reproduces the same means within the Monte-Carlo
+noise (the paper itself notes more than 100 samples changes nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..calibration import DEFAULT_CALIBRATION, Calibration
+from ..chip.chip import Core, build_core, build_novar_core
+from ..core.adaptation import (
+    AdaptationResult,
+    aggregate_static_measurement,
+    evaluate_at_fixed_config,
+    optimize_phase,
+)
+from ..core.environments import (
+    BASELINE,
+    NOVAR,
+    AdaptationMode,
+    Environment,
+)
+from ..core.state import Configuration, evaluate_configuration
+from ..core.adaptation import perf_params_from_measurement
+from ..microarch.pipeline import DEFAULT_CORE_CONFIG, CoreConfig
+from ..microarch.simulator import WorkloadMeasurement, measure_workload
+from ..microarch.workloads import WorkloadProfile, spec2000_like_suite
+from ..mitigation.base import TechniqueState
+from ..ml.bank import ControllerBank, get_bank
+from ..timing.speculation import performance
+from ..variation.population import VariationModel
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Scale and reproducibility knobs for an experiment run."""
+
+    n_chips: int = 20
+    cores_per_chip: int = 1
+    n_instructions: int = 12000
+    seed: int = 7
+    fuzzy_examples: int = 4000  # per-FC training examples (paper: 10,000)
+    fuzzy_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_chips < 1 or not 1 <= self.cores_per_chip <= 4:
+            raise ValueError("need >=1 chip and 1..4 cores per chip")
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """One (chip, core, workload, phase) observation."""
+
+    chip_id: int
+    core_index: int
+    workload: str
+    phase: str
+    weight: float
+    environment: str
+    mode: str
+    f_rel: float  # relative to the 4 GHz no-variation frequency
+    perf_rel: float  # relative to NoVar running the same phase
+    power: float  # watts (core + L1 + L2 + checker)
+    outcome: str
+    queue_full: bool
+    lowslope: bool
+
+
+@dataclass
+class SuiteSummary:
+    """Phase-weighted means over a whole run."""
+
+    f_rel: float
+    perf_rel: float
+    power: float
+    results: List[PhaseResult] = field(repr=False, default_factory=list)
+
+
+class ExperimentRunner:
+    """Caches chips, cores, measurements and FC banks across experiments."""
+
+    def __init__(
+        self,
+        config: RunnerConfig = RunnerConfig(),
+        calib: Calibration = DEFAULT_CALIBRATION,
+        workloads: Optional[Sequence[WorkloadProfile]] = None,
+        core_config: CoreConfig = DEFAULT_CORE_CONFIG,
+    ):
+        self.config = config
+        self.calib = calib
+        self.workloads = list(workloads) if workloads is not None else spec2000_like_suite()
+        self.core_config = core_config
+        self._population = VariationModel().population(
+            config.n_chips, seed=config.seed
+        )
+        self._cores: Dict[Tuple[int, int], Core] = {}
+        self._novar = build_novar_core(calib=calib)
+        self._banks: Dict[Tuple, ControllerBank] = {}
+
+    # ------------------------------------------------------------------
+    # Cached building blocks.
+    # ------------------------------------------------------------------
+    def core(self, chip_index: int, core_index: int) -> Core:
+        """Return (and cache) one core model."""
+        key = (chip_index, core_index)
+        if key not in self._cores:
+            self._cores[key] = build_core(
+                self._population[chip_index], core_index, calib=self.calib
+            )
+        return self._cores[key]
+
+    def cores(self):
+        """Iterate over all (chip, core) pairs in the run."""
+        for chip_index in range(self.config.n_chips):
+            for core_index in range(self.config.cores_per_chip):
+                yield self.core(chip_index, core_index)
+
+    def phase_profiles(self, workload: WorkloadProfile):
+        """Yield (phase-specialised profile, weight) pairs."""
+        for phase in workload.phases:
+            yield workload.phase_profile(phase), phase.weight
+
+    def measurements(
+        self, profile: WorkloadProfile, env: Environment
+    ) -> Tuple[WorkloadMeasurement, Optional[WorkloadMeasurement]]:
+        """Measure a phase profile under an environment's pipeline configs."""
+        technique = TechniqueState(domain=profile.domain)
+        base = technique.core_config(self.core_config, replication_built=env.fu)
+        full = measure_workload(
+            profile, base, self.config.n_instructions, self.config.seed
+        )
+        resized = None
+        if env.queue:
+            resized_cfg = base.with_resized_queue(profile.domain)
+            resized = measure_workload(
+                profile, resized_cfg, self.config.n_instructions, self.config.seed
+            )
+        return full, resized
+
+    def bank_for(self, env: Environment) -> ControllerBank:
+        """Return (training once) the fuzzy-controller bank for an env."""
+        spec = env.optimization_spec(self._novar.n_subsystems, self.calib)
+        template = self.core(0, 0)
+        return get_bank(
+            template,
+            spec,
+            n_examples=self.config.fuzzy_examples,
+            epochs=self.config.fuzzy_epochs,
+            seed=self.config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Reference points.
+    # ------------------------------------------------------------------
+    def novar_performance(self, meas: WorkloadMeasurement) -> float:
+        """NoVar instructions/second for a phase (4 GHz, error-free)."""
+        params = perf_params_from_measurement(meas, self._novar)
+        return float(performance(self.calib.f_nominal, 0.0, params))
+
+    def novar_power(self, meas: WorkloadMeasurement) -> float:
+        """NoVar power for a phase, in watts."""
+        n = self._novar.n_subsystems
+        config = Configuration(
+            f_core=self.calib.f_nominal,
+            vdd=np.full(n, self.calib.vdd_nominal),
+            vbb=np.zeros(n),
+            technique=TechniqueState(domain=meas.domain),
+        )
+        state = evaluate_configuration(
+            self._novar, config, meas.activity, meas.rho, checker=False
+        )
+        return state.total_power
+
+    # ------------------------------------------------------------------
+    # Main entry points.
+    # ------------------------------------------------------------------
+    def run_environment(
+        self,
+        env: Environment,
+        mode: AdaptationMode = AdaptationMode.EXH_DYN,
+        workloads: Optional[Sequence[WorkloadProfile]] = None,
+    ) -> SuiteSummary:
+        """Run one environment/mode over the population and suite."""
+        if not env.variation:
+            return self._run_novar(workloads)
+        workloads = list(workloads) if workloads is not None else self.workloads
+        bank = self.bank_for(env) if mode is AdaptationMode.FUZZY_DYN else None
+
+        results: List[PhaseResult] = []
+        for core in self.cores():
+            static_config = (
+                self._static_configuration(core, env, workloads)
+                if mode is AdaptationMode.STATIC
+                else None
+            )
+            for workload in workloads:
+                for profile, weight in self.phase_profiles(workload):
+                    meas_full, meas_resized = self.measurements(profile, env)
+                    if mode is AdaptationMode.STATIC:
+                        result = evaluate_at_fixed_config(
+                            core, env, static_config, meas_full
+                        )
+                    else:
+                        result = optimize_phase(
+                            core,
+                            env,
+                            meas_full,
+                            meas_resized,
+                            mode=mode,
+                            bank=bank,
+                        )
+                    results.append(
+                        self._to_phase_result(
+                            core, env, mode, workload, profile, weight, result
+                        )
+                    )
+        return _summarise(results)
+
+    def _run_novar(self, workloads=None) -> SuiteSummary:
+        """The NoVar reference environment (per-phase perf_rel is 1)."""
+        workloads = list(workloads) if workloads is not None else self.workloads
+        results = []
+        for workload in workloads:
+            for profile, weight in self.phase_profiles(workload):
+                meas, _ = self.measurements(profile, NOVAR)
+                results.append(
+                    PhaseResult(
+                        chip_id=-1,
+                        core_index=0,
+                        workload=workload.name,
+                        phase=profile.phases[0].name,
+                        weight=weight,
+                        environment=NOVAR.name,
+                        mode=AdaptationMode.STATIC.value,
+                        f_rel=1.0,
+                        perf_rel=1.0,
+                        power=self.novar_power(meas),
+                        outcome="NoChange",
+                        queue_full=True,
+                        lowslope=False,
+                    )
+                )
+        return _summarise(results)
+
+    def _static_configuration(
+        self,
+        core: Core,
+        env: Environment,
+        workloads: Sequence[WorkloadProfile],
+    ) -> Configuration:
+        """One conservative per-chip configuration (the Static bars)."""
+        measurements = []
+        for workload in workloads:
+            for profile, _ in self.phase_profiles(workload):
+                meas_full, _ = self.measurements(profile, env)
+                measurements.append(meas_full)
+        worst = aggregate_static_measurement(measurements)
+        result = optimize_phase(
+            core,
+            env,
+            worst,
+            worst if env.queue else None,
+            mode=AdaptationMode.EXH_DYN,
+        )
+        return result.config
+
+    def _to_phase_result(
+        self,
+        core: Core,
+        env: Environment,
+        mode: AdaptationMode,
+        workload: WorkloadProfile,
+        profile: WorkloadProfile,
+        weight: float,
+        result: AdaptationResult,
+    ) -> PhaseResult:
+        novar_perf = self.novar_performance(result.measurement)
+        return PhaseResult(
+            chip_id=core.chip_id,
+            core_index=core.core_index,
+            workload=workload.name,
+            phase=profile.phases[0].name,
+            weight=weight,
+            environment=env.name,
+            mode=mode.value,
+            f_rel=result.f_core / self.calib.f_nominal,
+            perf_rel=result.performance_ips / novar_perf,
+            power=result.state.total_power,
+            outcome=result.outcome.value,
+            queue_full=result.config.technique.queue_full,
+            lowslope=result.config.technique.lowslope,
+        )
+
+    def baseline_summary(self) -> SuiteSummary:
+        """Convenience: the Baseline environment (no checker, Static)."""
+        return self.run_environment(BASELINE, AdaptationMode.EXH_DYN)
+
+
+def _summarise(results: List[PhaseResult]) -> SuiteSummary:
+    weights = np.array([r.weight for r in results])
+    weights = weights / weights.sum()
+    return SuiteSummary(
+        f_rel=float(np.dot(weights, [r.f_rel for r in results])),
+        perf_rel=float(np.dot(weights, [r.perf_rel for r in results])),
+        power=float(np.dot(weights, [r.power for r in results])),
+        results=results,
+    )

@@ -1,0 +1,115 @@
+"""Variation-severity sensitivity: how the headline results scale.
+
+The paper's motivation cites Bowman et al. [2]: parameter variation may
+wipe out much of a technology generation's frequency gains.  This
+experiment sweeps the variation magnitude (``Vt``'s sigma/mu, with
+``Leff`` tracking at half, as in Figure 7(a)) and the correlation range
+``phi``, and reports how much frequency the Baseline loses and how much
+EVAL recovers at each severity — the crossover analysis a designer would
+run before committing to the EVAL transistor budget (checker + replicas,
+10.6% area).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..calibration import DEFAULT_CALIBRATION, Calibration
+from ..chip.chip import build_core
+from ..core.adaptation import optimize_phase
+from ..core.environments import BASELINE, TS_ASV_Q
+from ..microarch.pipeline import DEFAULT_CORE_CONFIG
+from ..microarch.simulator import measure_workload
+from ..microarch.workloads import spec2000_like_suite
+from ..variation.grid import DieGrid
+from ..variation.maps import VariationParams
+from ..variation.population import VariationModel
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Results at one variation severity."""
+
+    vt_sigma_rel: float
+    phi: float
+    baseline_f_rel: float
+    eval_f_rel: float
+
+    @property
+    def recovered_fraction(self) -> float:
+        """Share of the variation frequency loss that EVAL recovers."""
+        lost = 1.0 - self.baseline_f_rel
+        if lost <= 0.0:
+            return 1.0
+        return min(1.0, (self.eval_f_rel - self.baseline_f_rel) / lost)
+
+
+@dataclass
+class SensitivityResult:
+    """A sweep over variation severities."""
+
+    points: List[SensitivityPoint]
+
+    def rows(self) -> List[List[str]]:
+        """Text-table rows: severity, baseline, EVAL, recovery."""
+        return [
+            [
+                f"{p.vt_sigma_rel:.3f}",
+                f"{p.phi:.2f}",
+                f"{p.baseline_f_rel:.3f}",
+                f"{p.eval_f_rel:.3f}",
+                f"{100 * p.recovered_fraction:.0f}%",
+            ]
+            for p in self.points
+        ]
+
+
+def run_sensitivity(
+    sigma_levels: Sequence[float] = (0.045, 0.09, 0.135),
+    phi_levels: Sequence[float] = (0.5,),
+    n_chips: int = 6,
+    seed: int = 5,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    workload_index: int = 0,
+    grid: Optional[DieGrid] = None,
+) -> SensitivityResult:
+    """Sweep variation severity; return Baseline vs EVAL frequencies.
+
+    ``sigma_levels`` are total ``Vt`` sigma/mu values (the paper's setting
+    is 0.09); ``Leff`` tracks at half, as in Figure 7(a).
+    """
+    workload = spec2000_like_suite()[workload_index]
+    meas = measure_workload(workload, DEFAULT_CORE_CONFIG)
+    meas_resized = measure_workload(
+        workload, DEFAULT_CORE_CONFIG.with_resized_queue(workload.domain)
+    )
+    grid = grid or DieGrid(nx=24, ny=24)
+
+    points = []
+    for phi in phi_levels:
+        for sigma in sigma_levels:
+            params = VariationParams(
+                vt_sigma_rel=sigma, leff_sigma_rel=sigma / 2.0, phi=phi
+            )
+            model = VariationModel(grid=grid, params=params)
+            base_f, eval_f = [], []
+            for chip in model.population(n_chips, seed=seed):
+                core = build_core(chip, 0, calib=calib)
+                base_f.append(
+                    optimize_phase(core, BASELINE, meas).f_core
+                )
+                eval_f.append(
+                    optimize_phase(core, TS_ASV_Q, meas, meas_resized).f_core
+                )
+            points.append(
+                SensitivityPoint(
+                    vt_sigma_rel=sigma,
+                    phi=phi,
+                    baseline_f_rel=float(np.mean(base_f)) / calib.f_nominal,
+                    eval_f_rel=float(np.mean(eval_f)) / calib.f_nominal,
+                )
+            )
+    return SensitivityResult(points=points)

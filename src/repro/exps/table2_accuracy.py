@@ -1,0 +1,125 @@
+"""Table 2: fuzzy controller vs Exhaustive selection accuracy.
+
+Mean absolute difference between the FC-chosen and Exhaustive-chosen
+frequency, Vdd and Vbb, grouped by subsystem type (memory / mixed /
+logic), for the four knob environments of the controller study.
+The paper reports ~135-450 MHz (3.3-11%) for frequency, 14-24 mV for
+Vdd and 69-129 mV for Vbb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.environments import (
+    CONTROLLER_STUDY_ENVIRONMENTS,
+    Environment,
+)
+from ..core.optimizer import core_subsystem_arrays, freq_algorithm, power_algorithm
+from ..mitigation.base import BASE, FU_NORMAL, QUEUE_FULL
+from .runner import ExperimentRunner, RunnerConfig
+
+KINDS = ("memory", "mixed", "logic")
+
+
+def _default_variant(core, index: int) -> str:
+    spec = core.floorplan.subsystems[index]
+    if spec.resizable:
+        return QUEUE_FULL
+    if spec.replicable:
+        return FU_NORMAL
+    return BASE
+
+
+@dataclass
+class Table2Result:
+    """Mean |FC - Exhaustive| per parameter, environment and kind."""
+
+    freq_mhz: Dict[str, Dict[str, float]]  # env -> kind -> MHz
+    vdd_mv: Dict[str, Dict[str, float]]  # only for ASV-capable envs
+    vbb_mv: Dict[str, Dict[str, float]]  # only for ABB-capable envs
+    f_nominal: float = 4e9
+
+    def rows(self) -> List[List[str]]:
+        """Render the Table 2 layout (parameter x environment x kind)."""
+        rows = []
+        for env, kinds in self.freq_mhz.items():
+            row = ["Freq (MHz)", env]
+            for kind in KINDS:
+                mhz = kinds[kind]
+                row.append(f"{mhz:.0f} ({100 * mhz * 1e6 / self.f_nominal:.1f}%)")
+            rows.append(row)
+        for env, kinds in self.vdd_mv.items():
+            rows.append(
+                ["Vdd (mV)", env] + [f"{kinds[kind]:.0f}" for kind in KINDS]
+            )
+        for env, kinds in self.vbb_mv.items():
+            rows.append(
+                ["Vbb (mV)", env] + [f"{kinds[kind]:.0f}" for kind in KINDS]
+            )
+        return rows
+
+
+def run_table2(
+    runner: Optional[ExperimentRunner] = None,
+    environments: Optional[List[Environment]] = None,
+    n_workloads: int = 4,
+) -> Table2Result:
+    """Compare FC and Exhaustive selections across the population."""
+    runner = runner or ExperimentRunner(RunnerConfig(n_chips=6))
+    environments = environments or CONTROLLER_STUDY_ENVIRONMENTS
+    workloads = runner.workloads[:n_workloads]
+
+    freq_mhz: Dict[str, Dict[str, float]] = {}
+    vdd_mv: Dict[str, Dict[str, float]] = {}
+    vbb_mv: Dict[str, Dict[str, float]] = {}
+
+    for env in environments:
+        bank = runner.bank_for(env)
+        spec = env.optimization_spec(15, runner.calib)
+        diffs_f = {kind: [] for kind in KINDS}
+        diffs_vdd = {kind: [] for kind in KINDS}
+        diffs_vbb = {kind: [] for kind in KINDS}
+        for core in runner.cores():
+            kinds = core.kinds
+            for workload in workloads:
+                meas, _ = runner.measurements(workload, env)
+                subs = core_subsystem_arrays(core, meas.activity, meas.rho)
+                exh = freq_algorithm(subs, spec)
+                f_core = exh.core_frequency(spec.knob_ranges)
+                power = power_algorithm(subs, f_core, spec)
+                for i in range(core.n_subsystems):
+                    variant = _default_variant(core, i)
+                    fc_f = bank.predict_fmax(
+                        core, i, variant, spec.t_heatsink,
+                        float(meas.activity[i]), float(meas.rho[i]),
+                    )
+                    diffs_f[kinds[i]].append(abs(fc_f - exh.f_max[i]))
+                    fc_vdd, fc_vbb = bank.predict_voltages(
+                        core, i, variant, spec.t_heatsink,
+                        float(meas.activity[i]), float(meas.rho[i]), f_core,
+                    )
+                    if env.asv:
+                        diffs_vdd[kinds[i]].append(abs(fc_vdd - power.vdd[i]))
+                    if env.abb:
+                        diffs_vbb[kinds[i]].append(abs(fc_vbb - power.vbb[i]))
+        freq_mhz[env.name] = {
+            kind: float(np.mean(diffs_f[kind]) / 1e6) for kind in KINDS
+        }
+        if env.asv:
+            vdd_mv[env.name] = {
+                kind: float(np.mean(diffs_vdd[kind]) * 1e3) for kind in KINDS
+            }
+        if env.abb:
+            vbb_mv[env.name] = {
+                kind: float(np.mean(diffs_vbb[kind]) * 1e3) for kind in KINDS
+            }
+    return Table2Result(
+        freq_mhz=freq_mhz,
+        vdd_mv=vdd_mv,
+        vbb_mv=vbb_mv,
+        f_nominal=runner.calib.f_nominal,
+    )

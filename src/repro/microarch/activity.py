@@ -1,0 +1,73 @@
+"""Per-subsystem activity factors from a simulation (paper Section 4.1).
+
+The controller's sensed inputs include each subsystem's activity factor
+``alpha_f`` in accesses per cycle, measured with performance counters at
+the start of every phase.  This module derives those counters from a
+trace + simulation result: accesses per instruction (``rho_i``, the error
+exposure of Eq 4) times IPC gives accesses per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..chip.floorplan import Floorplan
+from .isa import Uop
+from .pipeline import SimResult
+from .trace import SyntheticTrace
+
+
+def accesses_per_instruction(trace: SyntheticTrace) -> Dict[str, float]:
+    """Per-subsystem accesses per instruction (``rho_i``) for a trace.
+
+    The mapping encodes which structures an average instruction of each
+    kind exercises on its way through the pipeline.
+    """
+    n = len(trace)
+    frac = {kind: trace.kind_fraction(kind) for kind in Uop}
+    loads_stores = frac[Uop.LOAD] + frac[Uop.STORE]
+    int_ops = frac[Uop.INT_ALU] + frac[Uop.INT_MUL]
+    fp_ops = frac[Uop.FP_ADD] + frac[Uop.FP_MUL]
+    branches = frac[Uop.BRANCH]
+    l1d_misses = float(np.count_nonzero(trace.l1_miss)) / n
+    icache_misses = float(np.count_nonzero(trace.icache_miss)) / n
+
+    # Every instruction is fetched, decoded, and mapped; integer ops (and
+    # address computations) exercise the int cluster; FP ops the FP
+    # cluster; memory ops the LSQ/DTLB/Dcache.  Register files see one
+    # write plus reads (~2 accesses per op using them).
+    rho = {
+        "Icache": 1.0 + icache_misses,  # fetches + line refills
+        "ITLB": 1.0,
+        "BranchPred": branches + 0.25,  # lookups + updates; fetch predictor
+        "Decode": 1.0,
+        "IntMap": 1.0,  # all instructions are renamed through the int map
+        "IntQ": int_ops + branches + loads_stores,  # address uops use IntQ slots
+        "IntReg": 2.0 * (int_ops + branches) + loads_stores,
+        "IntALU": int_ops + branches + loads_stores * 0.5,  # AGU work
+        "FPMap": fp_ops,
+        "FPQ": fp_ops,
+        "FPReg": 2.0 * fp_ops,
+        "FPUnit": fp_ops,
+        "LdStQ": loads_stores,
+        "DTLB": loads_stores,
+        "Dcache": loads_stores + l1d_misses,  # misses refill the array
+    }
+    return rho
+
+
+def activity_factors(
+    trace: SyntheticTrace, result: SimResult, floorplan: Floorplan
+) -> np.ndarray:
+    """Per-subsystem ``alpha_f`` (accesses/cycle) in canonical order."""
+    rho = accesses_per_instruction(trace)
+    ipc = result.ipc
+    return np.array([rho[name] * ipc for name in floorplan.names])
+
+
+def rho_vector(trace: SyntheticTrace, floorplan: Floorplan) -> np.ndarray:
+    """Per-subsystem ``rho_i`` (accesses/instruction) in canonical order."""
+    rho = accesses_per_instruction(trace)
+    return np.array([rho[name] for name in floorplan.names])

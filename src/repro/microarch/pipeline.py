@@ -1,0 +1,316 @@
+"""Trace-driven out-of-order core timing model.
+
+A one-pass timing simulation of a 3-issue out-of-order core in the style
+of the paper's AMD-Athlon-64-like cores (Section 5): separate integer /
+FP / memory issue queues (the int and FP queues are the resizable
+structures of Section 3.3.2), a small set of functional units (the
+replicable structures of Section 3.3.1), a ROB, and a non-blocking memory
+hierarchy with the paper's 2/8/208-cycle round trips.
+
+The model walks the trace once, computing for every instruction its
+dispatch, issue, completion and retirement cycles under:
+
+* fetch/issue/retire bandwidth,
+* register dependences (from the trace's dependence distances),
+* issue-queue / ROB occupancy (an instruction cannot dispatch while its
+  queue is full — this is what makes CPI sensitive to queue downsizing),
+* functional-unit structural hazards,
+* branch-misprediction flushes (resolve-to-refetch loop), and
+* cache misses (loads hold their dependents, not the pipeline).
+
+This is the standard "interval" style of approximation: not
+cycle-faithful to any RTL, but it reproduces the relative CPI effects the
+paper's adaptation decisions depend on (queue size, extra execute stage,
+memory-boundedness).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, replace
+from typing import Dict
+
+import numpy as np
+
+from .isa import Uop
+from .trace import SyntheticTrace
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Micro-architectural parameters of the simulated core."""
+
+    fetch_width: int = 3
+    issue_width: int = 3
+    retire_width: int = 3
+    int_queue_size: int = 68  # Figure 7(a): full-sized integer issue queue
+    fp_queue_size: int = 32  # Figure 7(a): full-sized FP issue queue
+    mem_queue_size: int = 48
+    rob_size: int = 160
+    n_int_alu: int = 3  # Figure 7(a): 3 add/shift
+    n_int_mul: int = 1  # ... + 1 mult
+    n_fp_add: int = 1
+    n_fp_mul: int = 1
+    n_mem_ports: int = 2
+    frontend_depth: int = 8
+    branch_penalty: int = 6  # redirect cycles after resolve
+    extra_exec_stage: int = 0  # FU-replication pipeline stage (Sec 3.3.1)
+    l1_latency: int = 3
+    l2_latency: int = 12
+    mem_latency: int = 208
+    #: Fraction of L2 misses a (stride) prefetcher converts into L2 hits.
+    #: 0 disables prefetching (the paper's configuration); the ablation
+    #: benches use it to study memory-boundedness sensitivity.
+    prefetch_accuracy: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "fetch_width",
+            "issue_width",
+            "retire_width",
+            "int_queue_size",
+            "fp_queue_size",
+            "mem_queue_size",
+            "rob_size",
+            "n_int_alu",
+            "n_int_mul",
+            "n_fp_add",
+            "n_fp_mul",
+            "n_mem_ports",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.extra_exec_stage < 0:
+            raise ValueError("extra_exec_stage cannot be negative")
+        if not 0.0 <= self.prefetch_accuracy <= 1.0:
+            raise ValueError("prefetch_accuracy must be in [0, 1]")
+
+    def with_resized_queue(self, domain: str, fraction: float = 0.75) -> "CoreConfig":
+        """Return a config with the int or FP issue queue downsized.
+
+        This is the Shift technique's CPI side: e.g. ``fraction=0.75``
+        models the paper's 3/4-capacity configuration.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if domain == "int":
+            return replace(
+                self, int_queue_size=max(1, int(self.int_queue_size * fraction))
+            )
+        if domain == "fp":
+            return replace(
+                self, fp_queue_size=max(1, int(self.fp_queue_size * fraction))
+            )
+        raise ValueError("domain must be 'int' or 'fp'")
+
+    def with_fu_replication(self) -> "CoreConfig":
+        """Return a config with the extra execute stage of Section 3.3.1."""
+        return replace(self, extra_exec_stage=1)
+
+
+DEFAULT_CORE_CONFIG = CoreConfig()
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Aggregate outcome of one pipeline simulation."""
+
+    instructions: int
+    cycles: int
+    kind_counts: Dict[int, int]
+    l1_misses: int
+    l2_misses: int
+    branch_flushes: int
+    int_queue_waits: int  # dispatches delayed by a full int queue
+    fp_queue_waits: int
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.cycles / self.instructions
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / self.cycles
+
+
+# Functional-unit groups: kind -> (group name, latency attr handled below).
+_FU_GROUP = {
+    int(Uop.INT_ALU): "int_alu",
+    int(Uop.BRANCH): "int_alu",
+    int(Uop.INT_MUL): "int_mul",
+    int(Uop.FP_ADD): "fp_add",
+    int(Uop.FP_MUL): "fp_mul",
+    int(Uop.LOAD): "mem",
+    int(Uop.STORE): "mem",
+}
+
+_QUEUE_OF = {
+    int(Uop.INT_ALU): "int",
+    int(Uop.BRANCH): "int",
+    int(Uop.INT_MUL): "int",
+    int(Uop.FP_ADD): "fp",
+    int(Uop.FP_MUL): "fp",
+    int(Uop.LOAD): "mem",
+    int(Uop.STORE): "mem",
+}
+
+
+def simulate(
+    trace: SyntheticTrace,
+    config: CoreConfig = DEFAULT_CORE_CONFIG,
+    *,
+    suppress_l2_misses: bool = False,
+) -> SimResult:
+    """Run the timing model over a trace and return aggregate results.
+
+    Args:
+        trace: The synthetic instruction trace.
+        config: Core configuration.
+        suppress_l2_misses: Treat L2 misses as L2 hits.  Running the model
+            twice (with and without) separates ``CPIcomp`` from the memory
+            stall term of Eq 5.
+    """
+    n = len(trace)
+    kinds = trace.kinds
+    dep1 = trace.dep1
+    dep2 = trace.dep2
+
+    exec_latency = {
+        int(Uop.INT_ALU): 1,
+        int(Uop.BRANCH): 1,
+        int(Uop.INT_MUL): 3,
+        int(Uop.FP_ADD): 4,
+        int(Uop.FP_MUL): 4,
+        int(Uop.STORE): 1,
+        int(Uop.LOAD): config.l1_latency,
+    }
+
+    fu_free = {
+        "int_alu": [0] * config.n_int_alu,
+        "int_mul": [0] * config.n_int_mul,
+        "fp_add": [0] * config.n_fp_add,
+        "fp_mul": [0] * config.n_fp_mul,
+        "mem": [0] * config.n_mem_ports,
+    }
+    queue_size = {
+        "int": config.int_queue_size,
+        "fp": config.fp_queue_size,
+        "mem": config.mem_queue_size,
+    }
+    # Issue times of previously dispatched, same-queue instructions, in
+    # dispatch order (FIFO occupancy approximation).
+    queue_issue_log: Dict[str, list] = {"int": [], "fp": [], "mem": []}
+
+    completion = np.zeros(n, dtype=np.int64)
+    retire_log: list = []  # retirement cycles in program order
+
+    issued_in_cycle: Dict[int, int] = defaultdict(int)
+    fetched_in_cycle: Dict[int, int] = defaultdict(int)
+
+    fetch_ready = 0  # earliest cycle the next instruction may fetch
+    kind_counts: Dict[int, int] = defaultdict(int)
+    l1_misses = l2_misses = branch_flushes = 0
+    int_queue_waits = fp_queue_waits = 0
+    frontend = config.frontend_depth + config.extra_exec_stage
+
+    for i in range(n):
+        kind = int(kinds[i])
+        kind_counts[kind] += 1
+
+        # ---------------- fetch ----------------
+        t_fetch = fetch_ready
+        if trace.icache_miss[i]:
+            # Instruction fetch stalls for an L2 refill of the I-line.
+            t_fetch += config.l2_latency
+        while fetched_in_cycle[t_fetch] >= config.fetch_width:
+            t_fetch += 1
+        fetched_in_cycle[t_fetch] += 1
+        fetch_ready = t_fetch
+
+        # ---------------- dispatch (rename + queue entry) --------------
+        dispatch = t_fetch + frontend
+        # ROB occupancy: the (i - rob_size)-th instruction must retire.
+        if i >= config.rob_size:
+            dispatch = max(dispatch, retire_log[i - config.rob_size])
+        # Issue-queue occupancy (FIFO approximation).
+        qname = _QUEUE_OF[kind]
+        log = queue_issue_log[qname]
+        if len(log) >= queue_size[qname]:
+            blocker = log[len(log) - queue_size[qname]]
+            if blocker > dispatch:
+                dispatch = blocker
+                if qname == "int":
+                    int_queue_waits += 1
+                elif qname == "fp":
+                    fp_queue_waits += 1
+
+        # ---------------- issue ----------------
+        ready = dispatch
+        if dep1[i]:
+            ready = max(ready, completion[i - dep1[i]])
+        if dep2[i]:
+            ready = max(ready, completion[i - dep2[i]])
+
+        group = _FU_GROUP[kind]
+        units = fu_free[group]
+        t_issue = ready
+        while True:
+            while issued_in_cycle[t_issue] >= config.issue_width:
+                t_issue += 1
+            unit = min(range(len(units)), key=units.__getitem__)
+            if units[unit] > t_issue:
+                t_issue = units[unit]
+                continue
+            break
+        issued_in_cycle[t_issue] += 1
+        units[unit] = t_issue + 1  # fully pipelined (initiation interval 1)
+        log.append(t_issue)
+
+        # ---------------- execute / memory ----------------
+        latency = exec_latency[kind]
+        if kind == int(Uop.LOAD) or kind == int(Uop.STORE):
+            if trace.l1_miss[i]:
+                l1_misses += 1
+                covered = (
+                    config.prefetch_accuracy > 0.0
+                    and (i * 2654435761) % 1000 < config.prefetch_accuracy * 1000
+                )
+                if trace.l2_miss[i] and not suppress_l2_misses and not covered:
+                    l2_misses += 1
+                    latency += config.mem_latency
+                else:
+                    latency += config.l2_latency
+        completion[i] = t_issue + latency
+
+        # ---------------- retire (in order) ----------------
+        t_retire = completion[i]
+        if retire_log:
+            t_retire = max(t_retire, retire_log[-1])
+            # Retire-width: the retire slot frees when the instruction
+            # retire_width places earlier has retired.
+            if len(retire_log) >= config.retire_width:
+                t_retire = max(
+                    t_retire, retire_log[len(retire_log) - config.retire_width] + 1
+                )
+        retire_log.append(t_retire)
+
+        # ---------------- branch misprediction ----------------
+        if kind == int(Uop.BRANCH) and trace.branch_mispredict[i]:
+            branch_flushes += 1
+            redirect = completion[i] + config.branch_penalty + config.extra_exec_stage
+            if redirect > fetch_ready:
+                fetch_ready = redirect
+
+    cycles = int(retire_log[-1]) + 1
+    return SimResult(
+        instructions=n,
+        cycles=cycles,
+        kind_counts=dict(kind_counts),
+        l1_misses=l1_misses,
+        l2_misses=l2_misses,
+        branch_flushes=branch_flushes,
+        int_queue_waits=int_queue_waits,
+        fp_queue_waits=fp_queue_waits,
+    )

@@ -1,0 +1,228 @@
+"""Synthetic SPEC 2000-like workload profiles.
+
+The paper evaluates SPECint/SPECfp 2000 on SESC.  We cannot ship SPEC
+binaries or traces, so each application is replaced by a *profile*: an
+instruction mix, dependency-distance distribution (ILP), branch
+mispredict rate, cache miss rates, and a phase structure.  The profiles
+below span the behaviour space the paper's techniques are sensitive to —
+int vs FP (which issue queue / FU gets resized or replicated),
+compute-bound vs memory-bound (how much frequency is worth), and
+high- vs low-ILP (how much queue downsizing hurts).
+
+Rates are quoted per instruction; miss rates are per *access* of the
+relevant structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from .isa import Uop
+
+INT = "int"
+FP = "fp"
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One stable program phase (Sherwood-style, ~120 ms each).
+
+    ``weight`` is the fraction of execution time spent in the phase.
+    Scale factors multiply the parent profile's rates, letting a phase be
+    e.g. "the memory-bound stretch" of an otherwise compute-bound app.
+    """
+
+    name: str
+    weight: float
+    l2_scale: float = 1.0
+    branch_scale: float = 1.0
+    ilp_scale: float = 1.0
+    fp_scale: float = 1.0  # multiplies the FP fraction of the mix
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError("phase weight must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A synthetic application profile.
+
+    Attributes:
+        name: Application name (SPEC-2000-alike).
+        domain: ``int`` or ``fp`` — decides which issue queue / FU the
+            micro-architectural techniques target (Section 4.1 "depending
+            on the type of application running").
+        mix: Instruction mix over :class:`Uop` kinds (must sum to 1).
+        dep_mean_distance: Mean register-dependence distance in
+            instructions (geometric); larger = more ILP.
+        branch_misp_rate: Mispredictions per branch.
+        l1d_miss_rate: L1-D misses per load/store.
+        l2_miss_rate: L2 misses per L1-D miss (so L2 misses/access is the
+            product).
+        icache_miss_rate: L1-I misses per instruction (refilled from the
+            L2; instruction footprints rarely spill to memory).
+        phases: Stable phases (weights sum to 1).
+    """
+
+    name: str
+    domain: str
+    mix: Dict[Uop, float]
+    dep_mean_distance: float
+    branch_misp_rate: float
+    l1d_miss_rate: float
+    l2_miss_rate: float
+    icache_miss_rate: float = 0.001
+    phases: Tuple[PhaseSpec, ...] = (PhaseSpec("main", 1.0),)
+
+    def __post_init__(self) -> None:
+        total = sum(self.mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: instruction mix sums to {total}")
+        if self.domain not in (INT, FP):
+            raise ValueError(f"{self.name}: domain must be 'int' or 'fp'")
+        weights = sum(p.weight for p in self.phases)
+        if abs(weights - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: phase weights sum to {weights}")
+        if self.dep_mean_distance < 1.0:
+            raise ValueError("dep_mean_distance must be >= 1")
+        if not 0.0 <= self.icache_miss_rate <= 1.0:
+            raise ValueError("icache_miss_rate must be in [0, 1]")
+
+    def phase_profile(self, phase: PhaseSpec) -> "WorkloadProfile":
+        """Return a copy of this profile with the phase's scalings applied."""
+        mix = dict(self.mix)
+        fp_frac = mix.get(Uop.FP_ADD, 0.0) + mix.get(Uop.FP_MUL, 0.0)
+        if fp_frac > 0.0 and phase.fp_scale != 1.0:
+            new_fp = min(fp_frac * phase.fp_scale, 0.9)
+            shift = new_fp - fp_frac
+            mix[Uop.FP_ADD] = mix.get(Uop.FP_ADD, 0.0) * new_fp / fp_frac
+            mix[Uop.FP_MUL] = mix.get(Uop.FP_MUL, 0.0) * new_fp / fp_frac
+            mix[Uop.INT_ALU] = mix.get(Uop.INT_ALU, 0.0) - shift
+            if mix[Uop.INT_ALU] <= 0.0:
+                raise ValueError("fp_scale leaves no integer instructions")
+        return replace(
+            self,
+            mix=mix,
+            dep_mean_distance=max(1.0, self.dep_mean_distance * phase.ilp_scale),
+            branch_misp_rate=min(1.0, self.branch_misp_rate * phase.branch_scale),
+            l2_miss_rate=min(1.0, self.l2_miss_rate * phase.l2_scale),
+            phases=(PhaseSpec(phase.name, 1.0),),
+        )
+
+
+def _mix(
+    int_alu: float,
+    int_mul: float,
+    fp_add: float,
+    fp_mul: float,
+    load: float,
+    store: float,
+    branch: float,
+) -> Dict[Uop, float]:
+    return {
+        Uop.INT_ALU: int_alu,
+        Uop.INT_MUL: int_mul,
+        Uop.FP_ADD: fp_add,
+        Uop.FP_MUL: fp_mul,
+        Uop.LOAD: load,
+        Uop.STORE: store,
+        Uop.BRANCH: branch,
+    }
+
+
+def spec2000_like_suite() -> List[WorkloadProfile]:
+    """Return the 10-application suite used throughout the evaluation."""
+    return [
+        # ---------------- SPECint-like ----------------
+        WorkloadProfile(
+            "gzip*", INT, _mix(0.44, 0.02, 0.0, 0.0, 0.24, 0.12, 0.18),
+            dep_mean_distance=3.2, branch_misp_rate=0.06,
+            l1d_miss_rate=0.02, l2_miss_rate=0.10, icache_miss_rate=0.0008,
+            phases=(
+                PhaseSpec("compress", 0.6),
+                PhaseSpec("io", 0.4, l2_scale=2.5, ilp_scale=0.8),
+            ),
+        ),
+        WorkloadProfile(
+            "gcc*", INT, _mix(0.42, 0.01, 0.0, 0.0, 0.26, 0.14, 0.17),
+            dep_mean_distance=2.8, branch_misp_rate=0.08,
+            l1d_miss_rate=0.035, l2_miss_rate=0.18, icache_miss_rate=0.010,
+            phases=(
+                PhaseSpec("parse", 0.35, branch_scale=1.3),
+                PhaseSpec("optimize", 0.45, ilp_scale=1.2),
+                PhaseSpec("emit", 0.20, l2_scale=1.8),
+            ),
+        ),
+        WorkloadProfile(
+            "mcf*", INT, _mix(0.38, 0.01, 0.0, 0.0, 0.33, 0.10, 0.18),
+            dep_mean_distance=2.2, branch_misp_rate=0.09,
+            l1d_miss_rate=0.12, l2_miss_rate=0.55,
+            phases=(
+                PhaseSpec("pointer-chase", 0.7, l2_scale=1.2),
+                PhaseSpec("refine", 0.3, l2_scale=0.5, ilp_scale=1.2),
+            ),
+        ),
+        WorkloadProfile(
+            "crafty*", INT, _mix(0.50, 0.03, 0.0, 0.0, 0.22, 0.08, 0.17),
+            dep_mean_distance=3.8, branch_misp_rate=0.07,
+            l1d_miss_rate=0.012, l2_miss_rate=0.06, icache_miss_rate=0.007,
+        ),
+        WorkloadProfile(
+            "twolf*", INT, _mix(0.43, 0.02, 0.0, 0.0, 0.26, 0.11, 0.18),
+            dep_mean_distance=2.9, branch_misp_rate=0.10,
+            l1d_miss_rate=0.05, l2_miss_rate=0.22, icache_miss_rate=0.004,
+            phases=(
+                PhaseSpec("place", 0.5, branch_scale=1.1),
+                PhaseSpec("route", 0.5, l2_scale=1.5),
+            ),
+        ),
+        # ---------------- SPECfp-like ----------------
+        WorkloadProfile(
+            "swim*", FP, _mix(0.20, 0.01, 0.22, 0.16, 0.27, 0.10, 0.04),
+            dep_mean_distance=6.0, branch_misp_rate=0.01,
+            l1d_miss_rate=0.10, l2_miss_rate=0.45,
+            phases=(
+                PhaseSpec("stencil", 0.8, l2_scale=1.1),
+                PhaseSpec("boundary", 0.2, l2_scale=0.4, fp_scale=0.7),
+            ),
+        ),
+        WorkloadProfile(
+            "applu*", FP, _mix(0.22, 0.01, 0.24, 0.18, 0.24, 0.08, 0.03),
+            dep_mean_distance=5.0, branch_misp_rate=0.015,
+            l1d_miss_rate=0.06, l2_miss_rate=0.30,
+            phases=(
+                PhaseSpec("sweep-x", 0.45),
+                PhaseSpec("sweep-y", 0.45, ilp_scale=0.9),
+                PhaseSpec("norm", 0.10, fp_scale=0.6, l2_scale=0.5),
+            ),
+        ),
+        WorkloadProfile(
+            "mgrid*", FP, _mix(0.18, 0.01, 0.26, 0.20, 0.25, 0.07, 0.03),
+            dep_mean_distance=6.5, branch_misp_rate=0.008,
+            l1d_miss_rate=0.05, l2_miss_rate=0.25,
+        ),
+        WorkloadProfile(
+            "art*", FP, _mix(0.24, 0.01, 0.20, 0.15, 0.28, 0.08, 0.04),
+            dep_mean_distance=4.5, branch_misp_rate=0.02,
+            l1d_miss_rate=0.18, l2_miss_rate=0.70,
+            phases=(
+                PhaseSpec("scan", 0.6, l2_scale=1.2),
+                PhaseSpec("match", 0.4, l2_scale=0.6, ilp_scale=1.1),
+            ),
+        ),
+        WorkloadProfile(
+            "equake*", FP, _mix(0.26, 0.02, 0.20, 0.14, 0.25, 0.08, 0.05),
+            dep_mean_distance=4.0, branch_misp_rate=0.025,
+            l1d_miss_rate=0.04, l2_miss_rate=0.20,
+        ),
+    ]
+
+
+def by_name(name: str) -> WorkloadProfile:
+    """Look up a suite profile by name."""
+    for profile in spec2000_like_suite():
+        if profile.name == name:
+            return profile
+    raise KeyError(f"no workload named {name!r}")

@@ -1,0 +1,46 @@
+"""Error-mitigation techniques: tilt, shift, reshape (paper Section 3.3)."""
+
+from .area import (
+    ABB_AREA_FRACTION,
+    PHASE_DETECTOR_AREA_FRACTION,
+    SENSOR_AREA_FRACTION,
+    AreaBudget,
+    area_budget,
+)
+from .base import (
+    BASE,
+    FU_LOWSLOPE,
+    FU_NORMAL,
+    QUEUE_FULL,
+    QUEUE_RESIZED,
+    TechniqueState,
+    technique_choices,
+)
+from .fu_replication import ReplicaDecision, choose_fu_implementation
+from .queue_resize import QueueDecision, choose_queue_size
+from .reshape import ReshapeResult, reshape_curve
+from .retiming import DEFAULT_LOOPS, RetimingResult, retime
+
+__all__ = [
+    "ABB_AREA_FRACTION",
+    "BASE",
+    "FU_LOWSLOPE",
+    "FU_NORMAL",
+    "QUEUE_FULL",
+    "QUEUE_RESIZED",
+    "AreaBudget",
+    "PHASE_DETECTOR_AREA_FRACTION",
+    "QueueDecision",
+    "ReplicaDecision",
+    "ReshapeResult",
+    "RetimingResult",
+    "DEFAULT_LOOPS",
+    "SENSOR_AREA_FRACTION",
+    "TechniqueState",
+    "area_budget",
+    "choose_fu_implementation",
+    "choose_queue_size",
+    "reshape_curve",
+    "retime",
+    "technique_choices",
+]

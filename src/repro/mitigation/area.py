@@ -1,0 +1,79 @@
+"""Area accounting for the EVAL support hardware (Figure 7(d)).
+
+Every overhead is *computed* from the corresponding model object rather
+than hard-coded, so changing e.g. the FU areas or the checker sizing in
+one place keeps this table consistent:
+
+* ASV: chip-external supplies, repurposed pins — ~0% (Section 2.3).
+* ABB: ~2% for bias generators/networks [21, 35] (excluded from the
+  preferred configuration).
+* FU replication: replica area = original FU area x the low-slope
+  area/power factor (the replica is 30% larger than the original [1]).
+* Issue-queue resizing: transmission gates — ~0% [4].
+* Checker: 7.0% (Figure 7(d), Diva-like with L0 caches).
+* Phase detector: ~0.3% (CACTI estimate for 32 buckets x 6 bits [28]).
+* Sensors: ~0.1%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..calibration import DEFAULT_CALIBRATION, Calibration
+from ..chip.floorplan import Floorplan, default_floorplan
+from ..timing.speculation import CheckerConfig
+
+ABB_AREA_FRACTION = 0.020
+PHASE_DETECTOR_AREA_FRACTION = 0.003
+SENSOR_AREA_FRACTION = 0.001
+
+
+@dataclass(frozen=True)
+class AreaBudget:
+    """Per-source area overheads as fractions of processor area."""
+
+    entries: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Total overhead as a fraction of processor area."""
+        return sum(self.entries.values())
+
+    def as_percent(self) -> Dict[str, float]:
+        """Entries in percent, rounded to one decimal (like Fig 7(d))."""
+        return {name: round(100.0 * value, 1) for name, value in self.entries.items()}
+
+
+def area_budget(
+    floorplan: Optional[Floorplan] = None,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    checker: Optional[CheckerConfig] = None,
+    include_abb: bool = False,
+) -> AreaBudget:
+    """Compute the Figure 7(d) overhead table.
+
+    Args:
+        floorplan: Source of the replicated-FU areas.
+        calib: Source of the low-slope area factor.
+        checker: Source of the checker area.
+        include_abb: The preferred EVAL configuration omits ABB; pass True
+            to account for it.
+    """
+    floorplan = floorplan or default_floorplan()
+    checker = checker or CheckerConfig()
+    replica_factor = calib.lowslope_power_factor  # area tracks power [22]
+    int_alu = floorplan.by_name("IntALU").area_frac * replica_factor
+    fp_unit = floorplan.by_name("FPUnit").area_frac * replica_factor
+    entries = {
+        "ASV": 0.0,
+        "IntALU replication": int_alu,
+        "FPAdd/Mul replication": fp_unit,
+        "Issue-queue resize": 0.0,
+        "Checker": checker.area_fraction,
+        "Phase detector": PHASE_DETECTOR_AREA_FRACTION,
+        "Sensors": SENSOR_AREA_FRACTION,
+    }
+    if include_abb:
+        entries["ABB"] = ABB_AREA_FRACTION
+    return AreaBudget(entries=entries)

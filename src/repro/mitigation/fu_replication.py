@@ -1,0 +1,64 @@
+"""Tilt: FU replication without a critical-path wall (Section 3.3.1).
+
+Two side-by-side implementations of the hot functional units (the integer
+ALU block and the FP adder+multiplier): *Normal* (the power-efficient
+original) and *LowSlope* (near-critical paths optimised away, so the
+dynamic path-delay distribution is less steep — the PE-vs-f curve tilts).
+
+The enable decision (Figure 4) compares the FU's achievable frequency
+under each implementation with the bottleneck frequency of the *rest* of
+the processor:
+
+* ``f_normal < Min(f)_rest``  (cases i, ii): the FU is critical — enable
+  LowSlope to maximise frequency.
+* otherwise (case iii): the FU is not the bottleneck — enable Normal to
+  save power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReplicaDecision:
+    """Outcome of the Figure 4 comparison for one replicated FU."""
+
+    use_lowslope: bool
+    f_normal: float
+    f_lowslope: float
+    f_rest: float
+
+    @property
+    def core_frequency(self) -> float:
+        """The frequency the core gets under this decision."""
+        chosen = self.f_lowslope if self.use_lowslope else self.f_normal
+        return min(chosen, self.f_rest)
+
+
+def choose_fu_implementation(
+    f_normal: float, f_lowslope: float, f_rest: float
+) -> ReplicaDecision:
+    """Apply the Figure 4 decision rule.
+
+    Args:
+        f_normal: Max frequency the FU supports with the normal replica.
+        f_lowslope: Max frequency with the low-slope replica (>= normal
+            whenever errors are being tolerated).
+        f_rest: Minimum of the other subsystems' max frequencies
+            (``Min(f)_rest``).
+
+    Returns:
+        The decision plus the frequencies that justified it.
+    """
+    if f_normal <= 0.0 or f_lowslope <= 0.0 or f_rest <= 0.0:
+        raise ValueError("frequencies must be positive")
+    # Figure 4 assumes f_lowslope > f_normal; when the replica's extra
+    # power makes it thermally *worse*, enabling it cannot help.
+    use_lowslope = f_normal < f_rest and f_lowslope > f_normal
+    return ReplicaDecision(
+        use_lowslope=use_lowslope,
+        f_normal=f_normal,
+        f_lowslope=f_lowslope,
+        f_rest=f_rest,
+    )

@@ -1,0 +1,76 @@
+"""Reshape: fine-grain ABB/ASV (Section 3.3.3).
+
+Reshaping is not a separate mechanism — it is what per-subsystem ASV/ABB
+*does* to the processor-level PE-vs-f curve when driven by the Freq/Power
+algorithms: slow stages are sped up (the bottom of the curve moves right)
+and fast stages are slowed down to save power (the top moves left).
+
+This module provides the curve-level view used by the Figure 2(d)
+demonstration and by tests: given per-stage operating points it evaluates
+the aggregate PE curve before and after reshaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chip.chip import Core
+from ..thermal.solver import solve_temperatures
+from ..timing.errors import processor_error_rate
+from ..timing.paths import StageDelays, StageModifiers, stage_delays
+
+
+@dataclass(frozen=True)
+class ReshapeResult:
+    """PE curves before and after applying per-subsystem voltages."""
+
+    freqs: np.ndarray
+    pe_before: np.ndarray
+    pe_after: np.ndarray
+    delays_before: StageDelays
+    delays_after: StageDelays
+
+
+def reshape_curve(
+    core: Core,
+    vdd_after: np.ndarray,
+    vbb_after: np.ndarray,
+    freqs: np.ndarray,
+    activity: np.ndarray,
+    rho: np.ndarray,
+    t_heatsink: float,
+    modifiers: StageModifiers = None,
+) -> ReshapeResult:
+    """Evaluate the processor PE(f) curve at nominal vs reshaped voltages.
+
+    The "before" point is all subsystems at nominal supply with zero body
+    bias; "after" uses the provided per-subsystem settings.  Temperatures
+    are re-solved for each setting (reshaping changes power and therefore
+    temperature, which feeds back into delay).
+    """
+    n = core.n_subsystems
+    calib = core.calib
+    vdd_before = np.full(n, calib.vdd_nominal)
+    vbb_before = np.zeros(n)
+    freqs = np.asarray(freqs, dtype=float)
+    f_mid = float(np.median(freqs))
+
+    results = []
+    for vdd, vbb in ((vdd_before, vbb_before), (vdd_after, vbb_after)):
+        solution = solve_temperatures(
+            core, vdd, vbb, f_mid, activity, t_heatsink
+        )
+        delays = stage_delays(core, vdd, vbb, solution.temperature, modifiers)
+        pe = processor_error_rate(freqs[:, None], delays, rho)
+        results.append((delays, pe))
+
+    (delays_before, pe_before), (delays_after, pe_after) = results
+    return ReshapeResult(
+        freqs=freqs,
+        pe_before=pe_before,
+        pe_after=pe_after,
+        delays_before=delays_before,
+        delays_after=delays_after,
+    )

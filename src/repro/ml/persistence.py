@@ -1,0 +1,116 @@
+"""Saving and loading trained fuzzy-controller banks.
+
+The paper's flow trains the controllers once at the manufacturer and ships
+them in a reserved memory area (~120 KB data footprint, Section 5).  This
+module provides the software equivalent: a bank round-trips through a
+single ``.npz`` archive, so the expensive Exhaustive-labelled training can
+be done once and reused across sessions.
+
+The archive stores, per controller, the ``mu`` / ``sigma`` / ``y``
+matrices and input standardisation of Appendix A, plus the bank-level
+metadata (knob levels, constraints, optimism).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..circuits.knobs import KnobRanges
+from ..core.optimizer import OptimizationSpec
+from .bank import ControllerBank, FCKey
+from .fuzzy import FuzzyController
+
+_FC_FIELDS = ("mu", "sigma", "y", "input_mean", "input_std")
+
+
+def _encode_key(kind: str, key: FCKey) -> str:
+    index, variant = key
+    return f"{kind}/{index}/{variant}"
+
+
+def _decode_key(token: str) -> "tuple[str, FCKey]":
+    kind, index, variant = token.split("/")
+    return kind, (int(index), variant)
+
+
+def save_bank(bank: ControllerBank, path: Union[str, Path]) -> Path:
+    """Serialise a trained bank to a single ``.npz`` archive."""
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    for kind, table in (
+        ("freq", bank.freq_fcs),
+        ("vdd", bank.vdd_fcs),
+        ("vbb", bank.vbb_fcs),
+    ):
+        for key, fc in table.items():
+            prefix = _encode_key(kind, key)
+            for field in _FC_FIELDS:
+                arrays[f"{prefix}:{field}"] = getattr(fc, field)
+
+    spec = bank.spec
+    meta = {
+        "optimism": bank.optimism,
+        "vdd_caution": bank.vdd_caution,
+        "pe_budget": spec.pe_budget,
+        "t_max": spec.t_max,
+        "t_heatsink": spec.t_heatsink,
+        "freq_rmse": {
+            _encode_key("freq", key): value
+            for key, value in bank.freq_rmse.items()
+        },
+        "knob_ranges": {
+            "f_min": spec.knob_ranges.f_min,
+            "f_max": spec.knob_ranges.f_max,
+            "f_step": spec.knob_ranges.f_step,
+            "vdd_min": spec.knob_ranges.vdd_min,
+            "vdd_max": spec.knob_ranges.vdd_max,
+            "vdd_step": spec.knob_ranges.vdd_step,
+            "vbb_min": spec.knob_ranges.vbb_min,
+            "vbb_max": spec.knob_ranges.vbb_max,
+            "vbb_step": spec.knob_ranges.vbb_step,
+        },
+    }
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    )
+    arrays["__vdd_levels__"] = spec.vdd_levels
+    arrays["__vbb_levels__"] = spec.vbb_levels
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(".npz")
+
+
+def load_bank(path: Union[str, Path]) -> ControllerBank:
+    """Reconstruct a :class:`ControllerBank` from :func:`save_bank` output."""
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode())
+        spec = OptimizationSpec(
+            vdd_levels=archive["__vdd_levels__"],
+            vbb_levels=archive["__vbb_levels__"],
+            pe_budget=meta["pe_budget"],
+            t_max=meta["t_max"],
+            t_heatsink=meta["t_heatsink"],
+            knob_ranges=KnobRanges(**meta["knob_ranges"]),
+        )
+        bank = ControllerBank(
+            spec=spec,
+            optimism=meta["optimism"],
+            vdd_caution=meta["vdd_caution"],
+        )
+        tables = {"freq": bank.freq_fcs, "vdd": bank.vdd_fcs, "vbb": bank.vbb_fcs}
+        grouped: Dict[str, Dict[str, np.ndarray]] = {}
+        for name in archive.files:
+            if name.startswith("__"):
+                continue
+            prefix, field = name.rsplit(":", 1)
+            grouped.setdefault(prefix, {})[field] = archive[name]
+        for prefix, fields in grouped.items():
+            kind, key = _decode_key(prefix)
+            tables[kind][key] = FuzzyController(**fields)
+        for token, value in meta["freq_rmse"].items():
+            _, key = _decode_key(token)
+            bank.freq_rmse[key] = value
+    return bank

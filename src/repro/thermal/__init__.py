@@ -1,0 +1,12 @@
+"""Thermal substrate: Eq 6-9 steady-state solver and sensor models."""
+
+from .sensors import SensorSpec, SensorSuite
+from .solver import T_RUNAWAY, ThermalSolution, solve_temperatures
+
+__all__ = [
+    "SensorSpec",
+    "SensorSuite",
+    "T_RUNAWAY",
+    "ThermalSolution",
+    "solve_temperatures",
+]

@@ -1,0 +1,89 @@
+"""Sensor models for the controller interface (paper Section 4.3.2).
+
+The controller never reads ground truth: it reads *sensors* — a heat-sink
+temperature sensor (refreshed every 2-3 s), per-subsystem thermal sensors,
+a core-wide power sensor, a PE counter fed by the checker, and activity
+counters.  Each sensor adds configurable Gaussian noise and quantisation so
+experiments can study controller robustness (the paper's retuning cycles
+exist precisely to absorb such inaccuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class SensorSpec:
+    """Noise/quantisation characteristics of a sensor."""
+
+    noise_sigma: float = 0.0
+    quantum: float = 0.0
+
+    def read(self, true_value, rng: Optional[np.random.Generator] = None):
+        """Return a sensor reading of ``true_value`` (scalar or array)."""
+        value = np.asarray(true_value, dtype=float)
+        if self.noise_sigma > 0.0:
+            if rng is None:
+                raise ValueError("an rng is required for a noisy sensor")
+            value = value + rng.normal(0.0, self.noise_sigma, size=value.shape)
+        if self.quantum > 0.0:
+            value = np.round(value / self.quantum) * self.quantum
+        if np.ndim(true_value) == 0:
+            return float(value)
+        return value
+
+
+@dataclass
+class SensorSuite:
+    """The full Section 4.3.2 sensor set, with one shared RNG."""
+
+    heatsink: SensorSpec
+    thermal: SensorSpec
+    power: SensorSpec
+    activity: SensorSpec
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    @classmethod
+    def ideal(cls) -> "SensorSuite":
+        """Noise-free sensors (the default evaluation configuration)."""
+        return cls(
+            heatsink=SensorSpec(),
+            thermal=SensorSpec(),
+            power=SensorSpec(),
+            activity=SensorSpec(),
+        )
+
+    @classmethod
+    def realistic(cls, seed: int = 0) -> "SensorSuite":
+        """Sensors with typical on-die accuracy (~1 K, ~0.25 W)."""
+        return cls(
+            heatsink=SensorSpec(noise_sigma=0.5, quantum=0.25),
+            thermal=SensorSpec(noise_sigma=1.0, quantum=0.5),
+            power=SensorSpec(noise_sigma=0.25, quantum=0.1),
+            activity=SensorSpec(noise_sigma=0.01),
+            seed=seed,
+        )
+
+    def read_heatsink(self, true_value: float) -> float:
+        """Read the heat-sink temperature sensor (kelvin)."""
+        return self.heatsink.read(true_value, self._rng)
+
+    def read_thermal(self, true_values):
+        """Read the per-subsystem thermal sensors (kelvin)."""
+        return self.thermal.read(true_values, self._rng)
+
+    def read_power(self, true_value: float) -> float:
+        """Read the core-wide power sensor (watts)."""
+        return self.power.read(true_value, self._rng)
+
+    def read_activity(self, true_values):
+        """Read the per-subsystem activity counters (accesses/cycle)."""
+        values = self.activity.read(true_values, self._rng)
+        return np.maximum(values, 0.0)

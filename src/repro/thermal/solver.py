@@ -1,0 +1,103 @@
+"""Steady-state thermal solver (paper Eqs 6-9).
+
+Each subsystem is a thermal node above the common heat sink::
+
+    T = TH + Rth * (Pdyn + Psta)                       (Eq 6)
+
+Static power rises with temperature (Eq 8) and the threshold voltage falls
+(Eq 9), so the system is a feedback loop that the paper solves "by
+iterating until convergence" — exactly what :func:`solve_temperatures`
+does, fully vectorised over subsystems and operating-point grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chip.chip import Core
+
+#: Hard cap applied during iteration; reaching it flags thermal runaway.
+T_RUNAWAY: float = 500.0
+
+
+@dataclass(frozen=True)
+class ThermalSolution:
+    """Converged per-subsystem thermal/power state.
+
+    All arrays broadcast over leading operating-point axes with the
+    trailing axis indexing subsystems.
+    """
+
+    temperature: np.ndarray  # kelvin
+    p_dynamic: np.ndarray  # watts
+    p_static: np.ndarray  # watts
+    converged: np.ndarray  # bool; False marks thermal runaway
+
+    @property
+    def p_total(self) -> np.ndarray:
+        """Per-subsystem total power in watts."""
+        return self.p_dynamic + self.p_static
+
+    def core_power(self) -> np.ndarray:
+        """Total power of the 15 subsystems (excl. L2/checker) in watts."""
+        return self.p_total.sum(axis=-1)
+
+    def max_temperature(self) -> np.ndarray:
+        """Hottest subsystem temperature in kelvin."""
+        return self.temperature.max(axis=-1)
+
+
+def solve_temperatures(
+    core: Core,
+    vdd,
+    vbb,
+    freq,
+    activity,
+    t_heatsink: float,
+    max_iter: int = 60,
+    tol: float = 1e-3,
+) -> ThermalSolution:
+    """Solve the Eq 6-9 feedback loop for steady-state temperatures.
+
+    Args:
+        core: Core model providing ``Rth``, ``Kdyn``, ``Ksta`` and the
+            leakage law.
+        vdd: Per-subsystem supply voltage(s); the trailing axis must
+            broadcast against the subsystem axis.
+        vbb: Per-subsystem body bias(es).
+        freq: Core frequency in hertz (scalar or broadcastable).
+        activity: Per-subsystem activity factors (accesses/cycle).
+        t_heatsink: Heat-sink temperature ``TH`` in kelvin.
+        max_iter: Iteration cap.
+        tol: Convergence tolerance in kelvin.
+
+    Returns:
+        A :class:`ThermalSolution`; ``converged`` is False where the
+        leakage-temperature loop ran away (temperature hit the cap).
+    """
+    vdd = np.asarray(vdd, dtype=float)
+    vbb = np.asarray(vbb, dtype=float)
+    freq = np.asarray(freq, dtype=float)
+    activity = np.asarray(activity, dtype=float)
+
+    p_dyn = core.subsystem_dynamic_power(vdd, freq, activity)
+    shape = np.broadcast_shapes(p_dyn.shape, vbb.shape)
+    p_dyn = np.broadcast_to(p_dyn, shape).copy()
+
+    temp = np.full(shape, t_heatsink + 5.0)
+    p_sta = np.zeros(shape)
+    for _ in range(max_iter):
+        p_sta = core.subsystem_static_power(vdd, vbb, temp)
+        new_temp = t_heatsink + core.rth * (p_dyn + p_sta)
+        new_temp = np.minimum(new_temp, T_RUNAWAY)
+        if np.max(np.abs(new_temp - temp)) < tol:
+            temp = new_temp
+            break
+        temp = new_temp
+    p_sta = core.subsystem_static_power(vdd, vbb, temp)
+    converged = temp < T_RUNAWAY - tol
+    return ThermalSolution(
+        temperature=temp, p_dynamic=p_dyn, p_static=p_sta, converged=converged
+    )

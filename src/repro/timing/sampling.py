@@ -1,0 +1,143 @@
+"""Microscopic path-level Monte Carlo behind the VATS abstraction.
+
+The analytic stage model (:mod:`repro.timing.paths`) summarises a stage by
+a normal dynamic-delay distribution.  VATS itself (Fig 1) starts one level
+lower: a stage *is* an ensemble of static paths — each with a nominal
+delay and per-gate random variation — of which every access exercises a
+random subset, erring when the slowest exercised path misses the clock
+edge.
+
+This module implements that microscopic model.  It serves two purposes:
+
+* **validation** — tests draw Monte-Carlo error rates from a
+  :class:`PathEnsemble` and check the analytic normal approximation
+  (:func:`fit_stage_model`) reproduces them;
+* **experimentation** — the Figure 1(a)/(b) histograms can be generated
+  from actual path samples rather than the fitted normal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .paths import StageDelays
+
+
+@dataclass
+class PathEnsemble:
+    """An explicit set of static paths for one pipeline stage.
+
+    Attributes:
+        nominal_delays: Per-path nominal delay in seconds, shape ``(p,)``.
+            Design tools pile paths up just below the cycle time (the
+            "critical-path wall"), so a realistic ensemble is dense near
+            its maximum.
+        random_sigma: Per-path random-variation sigma in seconds (the
+            per-gate randomness averaged over the path depth).
+        exercise_count: How many paths a single access exercises; the
+            access's delay is the max over its exercised subset.
+        seed: Seed for the frozen per-chip random component.
+    """
+
+    nominal_delays: np.ndarray
+    random_sigma: float
+    exercise_count: int = 12
+    seed: int = 0
+    _static_delays: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.nominal_delays.ndim != 1 or len(self.nominal_delays) == 0:
+            raise ValueError("need a 1-D, non-empty nominal delay array")
+        if np.any(self.nominal_delays <= 0.0):
+            raise ValueError("path delays must be positive")
+        if self.random_sigma < 0.0:
+            raise ValueError("random sigma cannot be negative")
+        if not 1 <= self.exercise_count <= len(self.nominal_delays):
+            raise ValueError("exercise_count must be in [1, n_paths]")
+
+    @property
+    def n_paths(self) -> int:
+        """Number of static paths in the ensemble."""
+        return len(self.nominal_delays)
+
+    def static_delays(self) -> np.ndarray:
+        """Per-path delays with the chip's frozen random component."""
+        if self._static_delays is None:
+            rng = np.random.default_rng(self.seed)
+            noise = rng.normal(0.0, self.random_sigma, self.n_paths)
+            self._static_delays = np.maximum(
+                self.nominal_delays + noise, 1e-15
+            )
+        return self._static_delays
+
+    def sample_access_delays(
+        self, n_accesses: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Dynamic delays: max over each access's exercised path subset."""
+        delays = self.static_delays()
+        choices = rng.integers(
+            0, self.n_paths, size=(n_accesses, self.exercise_count)
+        )
+        return delays[choices].max(axis=1)
+
+    def empirical_error_rate(
+        self, freq: float, n_accesses: int = 20000, seed: int = 1
+    ) -> float:
+        """Monte-Carlo per-access error probability at frequency ``freq``."""
+        if freq <= 0.0:
+            raise ValueError("frequency must be positive")
+        rng = np.random.default_rng(seed)
+        samples = self.sample_access_delays(n_accesses, rng)
+        return float(np.mean(samples > 1.0 / freq))
+
+
+def wall_ensemble(
+    t_cycle: float,
+    n_paths: int = 4000,
+    wall_fraction: float = 0.35,
+    spread: float = 0.12,
+    random_sigma_rel: float = 0.01,
+    exercise_count: int = 12,
+    seed: int = 0,
+) -> PathEnsemble:
+    """Build a critical-path-wall ensemble (Section 3.3.1's premise).
+
+    A fraction of the paths sits in a dense wall just below the cycle
+    time; the rest spreads over shorter delays (they were "good enough"
+    and never optimised).
+    """
+    rng = np.random.default_rng(seed)
+    n_wall = int(n_paths * wall_fraction)
+    wall = t_cycle * rng.uniform(0.97, 1.0, n_wall)
+    body = t_cycle * (1.0 - rng.exponential(spread, n_paths - n_wall))
+    body = np.clip(body, 0.2 * t_cycle, t_cycle)
+    return PathEnsemble(
+        nominal_delays=np.concatenate([wall, body]),
+        random_sigma=random_sigma_rel * t_cycle,
+        exercise_count=exercise_count,
+        seed=seed,
+    )
+
+
+def fit_stage_model(
+    ensemble: PathEnsemble,
+    z_free: float,
+    n_accesses: int = 40000,
+    seed: int = 2,
+) -> StageDelays:
+    """Fit the analytic normal stage model to a path ensemble.
+
+    This is the 'VATS characterisation' step: sample the dynamic
+    access-delay distribution and summarise it by its first two moments —
+    exactly the abstraction the rest of the library builds on.
+    """
+    rng = np.random.default_rng(seed)
+    samples = ensemble.sample_access_delays(n_accesses, rng)
+    return StageDelays(
+        mean=np.array([samples.mean()]),
+        sigma=np.array([max(samples.std(), 1e-18)]),
+        z_free=z_free,
+    )

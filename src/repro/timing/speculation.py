@@ -1,0 +1,141 @@
+"""Timing speculation: Diva-like checker and the Eq 5 performance model.
+
+With a checker at retirement (Section 3.1 / Figure 7(c)), the core may run
+*above* its safe frequency; each timing error costs a pipeline flush
+(``rp`` cycles, like a branch misprediction).  Performance in instructions
+per second is::
+
+    Perf(f) = f / (CPIcomp + mr * mp(f) + PE(f) * rp)       (Eq 5)
+
+``mp(f)`` is the observed (non-overlapped) L2-miss penalty in cycles; the
+off-chip latency is constant in *seconds*, so ``mp`` grows linearly with
+``f`` — the classic reason frequency gains saturate on memory-bound codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..calibration import DEFAULT_CALIBRATION, Calibration
+from ..units import ghz
+
+
+@dataclass(frozen=True)
+class CheckerConfig:
+    """The Diva-like checker of Figure 7(c).
+
+    The checker runs at a safe, lower frequency with ASV-boosted
+    transistors; its architectural simplicity lets it keep up with the
+    wide core, so it never throttles retirement — it only adds power and
+    area, and bounds the detectable error rate.
+    """
+
+    frequency: float = ghz(3.5)
+    #: Verification width: Diva checkers are made wide ("it is feasible to
+    #: design a wide-issue checker thanks to its architectural
+    #: simplicity" — Section 3.1), so they out-retire the 3-issue core.
+    verify_width: int = 4
+    l0_dcache_bytes: int = 4096
+    l0_icache_bytes: int = 512
+    retire_queue_entries: int = 32
+    area_fraction: float = 0.070  # Figure 7(d): 7.0% of processor area
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0.0:
+            raise ValueError("checker frequency must be positive")
+        if self.verify_width < 1:
+            raise ValueError("verify width must be at least 1")
+
+    @property
+    def max_throughput(self) -> float:
+        """Peak instructions/second the checker can verify."""
+        return self.verify_width * self.frequency
+
+    def cap_performance(self, perf):
+        """Clamp core performance to the checker's verification rate.
+
+        With the default wide checker this almost never binds — which is
+        the paper's design point — but modelling it keeps the Eq 5 output
+        honest when experiments shrink the checker.
+        """
+        return np.minimum(np.asarray(perf, dtype=float), self.max_throughput)
+
+
+@dataclass(frozen=True)
+class PerfParams:
+    """Workload-dependent inputs of Eq 5 (all per average instruction)."""
+
+    cpi_comp: float  # computation CPI incl. L1 misses hitting in L2
+    l2_miss_rate: float  # misses per instruction (``mr``)
+    recovery_penalty: float  # cycles per timing error (``rp``)
+    memory_latency_s: float  # off-chip round trip in seconds
+    overlap_factor: float = 0.7  # fraction of miss latency not hidden
+
+    def __post_init__(self) -> None:
+        if self.cpi_comp <= 0.0:
+            raise ValueError("cpi_comp must be positive")
+        if self.l2_miss_rate < 0.0:
+            raise ValueError("l2_miss_rate cannot be negative")
+        if not 0.0 <= self.overlap_factor <= 1.0:
+            raise ValueError("overlap_factor must be in [0, 1]")
+
+    @classmethod
+    def from_calibration(
+        cls,
+        cpi_comp: float,
+        l2_miss_rate: float,
+        calib: Calibration = DEFAULT_CALIBRATION,
+    ) -> "PerfParams":
+        """Build params using the calibration's memory/recovery settings."""
+        return cls(
+            cpi_comp=cpi_comp,
+            l2_miss_rate=l2_miss_rate,
+            recovery_penalty=calib.recovery_penalty_cycles,
+            memory_latency_s=calib.memory_latency_seconds,
+            overlap_factor=calib.memory_overlap_factor,
+        )
+
+
+def miss_penalty_cycles(freq, params: PerfParams) -> np.ndarray:
+    """Observed L2-miss penalty ``mp(f)`` in cycles (grows with f)."""
+    return (
+        np.asarray(freq, dtype=float)
+        * params.memory_latency_s
+        * params.overlap_factor
+    )
+
+
+def effective_cpi(freq, error_rate, params: PerfParams) -> np.ndarray:
+    """Total CPI: computation + memory stalls + error recovery (Eq 5)."""
+    error_rate = np.asarray(error_rate, dtype=float)
+    if np.any(error_rate < 0.0):
+        raise ValueError("error rate cannot be negative")
+    return (
+        params.cpi_comp
+        + params.l2_miss_rate * miss_penalty_cycles(freq, params)
+        + error_rate * params.recovery_penalty
+    )
+
+
+def performance(freq, error_rate, params: PerfParams) -> np.ndarray:
+    """Instructions per second at ``freq`` given an error rate (Eq 5)."""
+    return np.asarray(freq, dtype=float) / effective_cpi(freq, error_rate, params)
+
+
+def optimal_on_curve(freqs, error_rates, params: PerfParams):
+    """Scan a PE(f) curve for the performance-optimal point (Fig 2(a)).
+
+    Args:
+        freqs: 1-D array of candidate frequencies (hertz).
+        error_rates: errors/instruction at each frequency.
+        params: Eq 5 workload parameters.
+
+    Returns:
+        Tuple ``(f_opt, perf_opt)``.
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    perfs = performance(freqs, error_rates, params)
+    best = int(np.argmax(perfs))
+    return float(freqs[best]), float(perfs[best])

@@ -1,0 +1,27 @@
+"""Within-die process-variation model (VARIUS-style, paper Section 2.1)."""
+
+from .correlation import (
+    correlated_normal_factor,
+    correlation_matrix,
+    spherical_correlation,
+)
+from .grid import DieGrid
+from .maps import (
+    DEFAULT_VARIATION_PARAMS,
+    ChipSample,
+    RegionStats,
+    VariationParams,
+)
+from .population import VariationModel
+
+__all__ = [
+    "ChipSample",
+    "DEFAULT_VARIATION_PARAMS",
+    "DieGrid",
+    "RegionStats",
+    "VariationModel",
+    "VariationParams",
+    "correlated_normal_factor",
+    "correlation_matrix",
+    "spherical_correlation",
+]

@@ -1,0 +1,80 @@
+"""Spatial correlation of systematic within-die variation.
+
+The VARIUS model [26] correlates the systematic component of ``Vt`` (and
+``Leff``) between two points using an isotropic, position-independent
+function of distance only, which decays to zero at a distance ``phi``
+(the *range*).  We use the spherical correlogram — the standard choice in
+VARIUS — which has exactly that property::
+
+    rho(r) = 1 - 1.5*(r/phi) + 0.5*(r/phi)^3     for r <= phi
+    rho(r) = 0                                    for r >  phi
+
+Distances are expressed as fractions of the die width, matching the
+paper's ``phi = 0.5``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def spherical_correlation(distance, phi: float):
+    """Return the spherical correlogram ``rho(distance)``.
+
+    Args:
+        distance: Euclidean distance(s), in die-width units. Scalars and
+            arrays are both accepted.
+        phi: Correlation range in die-width units; at distances >= ``phi``
+            the correlation is exactly zero.
+
+    Raises:
+        ValueError: If ``phi`` is not positive or any distance is negative.
+    """
+    if phi <= 0.0:
+        raise ValueError("correlation range phi must be positive")
+    r = np.asarray(distance, dtype=float)
+    if np.any(r < 0.0):
+        raise ValueError("distances cannot be negative")
+    scaled = np.minimum(r / phi, 1.0)
+    return 1.0 - 1.5 * scaled + 0.5 * scaled**3
+
+
+def correlation_matrix(points: np.ndarray, phi: float) -> np.ndarray:
+    """Return the correlation matrix for a set of 2-D points.
+
+    Args:
+        points: Array of shape ``(n, 2)`` with point coordinates in
+            die-width units.
+        phi: Correlation range in die-width units.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must have shape (n, 2)")
+    deltas = points[:, None, :] - points[None, :, :]
+    distances = np.hypot(deltas[..., 0], deltas[..., 1])
+    return spherical_correlation(distances, phi)
+
+
+def correlated_normal_factor(
+    points: np.ndarray, phi: float, jitter: float = 1e-9
+) -> np.ndarray:
+    """Return a matrix ``L`` with ``L @ L.T == correlation_matrix``.
+
+    The factor is computed with a Cholesky decomposition; a small diagonal
+    ``jitter`` keeps the matrix numerically positive definite (the
+    spherical correlogram is positive definite in 2-D, but finite grids can
+    sit at the edge of machine precision).
+
+    Multiplying ``L`` by an i.i.d. standard-normal vector yields one
+    realisation of the systematic variation surface sampled at ``points``.
+    """
+    corr = correlation_matrix(points, phi)
+    n = corr.shape[0]
+    try:
+        return np.linalg.cholesky(corr + jitter * np.eye(n))
+    except np.linalg.LinAlgError:
+        # Fall back to an eigen-decomposition factor, clipping any tiny
+        # negative eigenvalues introduced by round-off.
+        eigvals, eigvecs = np.linalg.eigh(corr)
+        eigvals = np.clip(eigvals, 0.0, None)
+        return eigvecs * np.sqrt(eigvals)

@@ -1,0 +1,83 @@
+"""Die grid geometry for the variation model.
+
+VARIUS divides the die into a regular grid; each cell takes a single value
+of the systematic component of ``Vt`` / ``Leff``.  The die is modelled as
+a unit square (coordinates in die-width units), which is also the unit the
+correlation range ``phi`` is expressed in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DieGrid:
+    """A regular ``nx`` x ``ny`` grid over a rectangular die.
+
+    Attributes:
+        nx: Number of cells along x.
+        ny: Number of cells along y.
+        width: Die width in die-width units (1.0 by convention).
+        height: Die height in die-width units.
+    """
+
+    nx: int = 40
+    ny: int = 40
+    width: float = 1.0
+    height: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError("grid dimensions must be at least 1x1")
+        if self.width <= 0.0 or self.height <= 0.0:
+            raise ValueError("die dimensions must be positive")
+
+    @property
+    def cell_count(self) -> int:
+        """Total number of grid cells."""
+        return self.nx * self.ny
+
+    def cell_centers(self) -> np.ndarray:
+        """Return cell-centre coordinates, shape ``(nx*ny, 2)``.
+
+        Cells are ordered row-major: index ``iy * nx + ix``.
+        """
+        xs = (np.arange(self.nx) + 0.5) * (self.width / self.nx)
+        ys = (np.arange(self.ny) + 0.5) * (self.height / self.ny)
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        return np.column_stack([grid_x.ravel(), grid_y.ravel()])
+
+    def cells_in_rect(
+        self, x0: float, y0: float, x1: float, y1: float
+    ) -> np.ndarray:
+        """Return flat indices of cells whose centre lies in a rectangle.
+
+        The rectangle is ``[x0, x1) x [y0, y1)`` in die-width units.  If no
+        cell centre falls inside (a very small rectangle), the single cell
+        containing the rectangle's centre is returned so every subsystem
+        maps to at least one cell.
+        """
+        if x1 <= x0 or y1 <= y0:
+            raise ValueError("rectangle must have positive extent")
+        centers = self.cell_centers()
+        inside = (
+            (centers[:, 0] >= x0)
+            & (centers[:, 0] < x1)
+            & (centers[:, 1] >= y0)
+            & (centers[:, 1] < y1)
+        )
+        indices = np.flatnonzero(inside)
+        if indices.size:
+            return indices
+        return np.array([self.cell_index_at((x0 + x1) / 2, (y0 + y1) / 2)])
+
+    def cell_index_at(self, x: float, y: float) -> int:
+        """Return the flat index of the cell containing point ``(x, y)``."""
+        if not (0.0 <= x <= self.width and 0.0 <= y <= self.height):
+            raise ValueError("point lies outside the die")
+        ix = min(int(x / self.width * self.nx), self.nx - 1)
+        iy = min(int(y / self.height * self.ny), self.ny - 1)
+        return iy * self.nx + ix

@@ -1,0 +1,71 @@
+"""Monte Carlo chip populations.
+
+The paper repeats every experiment on 100 chips whose systematic ``Vt`` and
+``Leff`` maps are drawn independently with the same ``sigma`` and ``phi``
+(Section 5, "Process Variation").  :class:`VariationModel` generates such
+populations reproducibly and caches the (expensive) correlation factor so
+that drawing 100 chips costs one Cholesky decomposition plus 100
+matrix-vector products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .correlation import correlated_normal_factor
+from .grid import DieGrid
+from .maps import DEFAULT_VARIATION_PARAMS, ChipSample, VariationParams
+
+
+@dataclass
+class VariationModel:
+    """Generator of :class:`ChipSample` populations on a fixed die grid."""
+
+    grid: DieGrid = field(default_factory=DieGrid)
+    params: VariationParams = DEFAULT_VARIATION_PARAMS
+    _factor: Optional[np.ndarray] = field(default=None, repr=False, init=False)
+
+    @property
+    def factor(self) -> np.ndarray:
+        """The cached correlation factor ``L`` (``L @ L.T = corr``)."""
+        if self._factor is None:
+            points = self.grid.cell_centers()
+            self._factor = correlated_normal_factor(points, self.params.phi)
+        return self._factor
+
+    def sample(self, rng: np.random.Generator, chip_id: int = 0) -> ChipSample:
+        """Draw one chip's systematic variation surfaces."""
+        n = self.grid.cell_count
+        normals = rng.standard_normal((2, n))
+        rho = self.params.vt_leff_correlation
+        vt_field = self.factor @ normals[0]
+        leff_driver = rho * normals[0] + np.sqrt(1.0 - rho**2) * normals[1]
+        leff_field = self.factor @ leff_driver
+        vt_sys = self.params.vt_sigma_sys * vt_field
+        leff_sys = self.params.leff_sigma_sys * leff_field
+        if self.params.d2d_sigma_rel > 0.0:
+            # Die-to-die: one correlated offset for the whole chip.
+            d2d = rng.standard_normal(2)
+            vt_sys = vt_sys + (
+                self.params.d2d_sigma_rel * self.params.vt_mean * d2d[0]
+            )
+            leff_sys = leff_sys + (
+                self.params.d2d_sigma_rel * 0.5 * d2d[1]
+            )
+        return ChipSample(
+            grid=self.grid,
+            params=self.params,
+            vt_sys=vt_sys,
+            leff_sys=leff_sys,
+            chip_id=chip_id,
+        )
+
+    def population(self, n_chips: int = 100, seed: int = 0) -> List[ChipSample]:
+        """Draw ``n_chips`` independent chips, reproducibly from ``seed``."""
+        if n_chips < 1:
+            raise ValueError("population needs at least one chip")
+        rng = np.random.default_rng(seed)
+        return [self.sample(rng, chip_id=i) for i in range(n_chips)]

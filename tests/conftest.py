@@ -1,0 +1,136 @@
+"""Shared fixtures: small, session-scoped model objects.
+
+Everything expensive (chip populations, cores, measurements, fuzzy banks)
+is built once per session at a deliberately small scale; tests assert
+behaviour and invariants, not absolute performance numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import DEFAULT_CALIBRATION
+from repro.chip import build_core, build_novar_core
+from repro.core import TS, TS_ASV, AdaptationMode
+from repro.exps.runner import ExperimentRunner, RunnerConfig
+from repro.microarch import (
+    DEFAULT_CORE_CONFIG,
+    generate_trace,
+    measure_workload,
+    spec2000_like_suite,
+)
+from repro.ml import train_controller_bank
+from repro.variation import DieGrid, VariationModel
+
+
+@pytest.fixture(scope="session")
+def calib():
+    """The default calibration constants."""
+    return DEFAULT_CALIBRATION
+
+
+@pytest.fixture(scope="session")
+def variation_model():
+    """A coarse-grid variation model (fast Cholesky)."""
+    return VariationModel(grid=DieGrid(nx=24, ny=24))
+
+
+@pytest.fixture(scope="session")
+def population(variation_model):
+    """Six sample chips."""
+    return variation_model.population(6, seed=42)
+
+
+@pytest.fixture(scope="session")
+def core(population):
+    """One variation-afflicted core."""
+    return build_core(population[0], 0)
+
+
+@pytest.fixture(scope="session")
+def other_core(population):
+    """A second, different core (for cross-chip comparisons)."""
+    return build_core(population[3], 1)
+
+
+@pytest.fixture(scope="session")
+def novar_core():
+    """The idealised no-variation core."""
+    return build_novar_core()
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The SPEC-2000-like workload suite."""
+    return spec2000_like_suite()
+
+
+@pytest.fixture(scope="session")
+def int_workload(suite):
+    """An integer workload (gzip-like)."""
+    return suite[0]
+
+
+@pytest.fixture(scope="session")
+def fp_workload(suite):
+    """An FP workload (swim-like)."""
+    return suite[5]
+
+
+@pytest.fixture(scope="session")
+def int_measurement(int_workload):
+    """Measured Eq 5 inputs for the integer workload."""
+    return measure_workload(int_workload, DEFAULT_CORE_CONFIG, 8000, seed=0)
+
+
+@pytest.fixture(scope="session")
+def fp_measurement(fp_workload):
+    """Measured Eq 5 inputs for the FP workload."""
+    return measure_workload(fp_workload, DEFAULT_CORE_CONFIG, 8000, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_trace(int_workload):
+    """A short reproducible trace."""
+    return generate_trace(int_workload, 3000, seed=1)
+
+
+@pytest.fixture(scope="session")
+def ts_spec(core):
+    """Optimisation spec for the TS environment."""
+    return TS.optimization_spec(core.n_subsystems, core.calib)
+
+
+@pytest.fixture(scope="session")
+def asv_spec(core):
+    """Optimisation spec for the TS+ASV environment."""
+    return TS_ASV.optimization_spec(core.n_subsystems, core.calib)
+
+
+@pytest.fixture(scope="session")
+def tiny_bank(core, asv_spec):
+    """A small trained fuzzy-controller bank (TS+ASV knobs)."""
+    return train_controller_bank(
+        core, asv_spec, n_examples=600, epochs=1, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_runner():
+    """A two-chip experiment runner for integration tests."""
+    return ExperimentRunner(
+        RunnerConfig(
+            n_chips=2,
+            cores_per_chip=1,
+            n_instructions=5000,
+            fuzzy_examples=600,
+            fuzzy_epochs=1,
+        )
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,93 @@
+"""Calibration constants: published anchors and internal consistency."""
+
+import dataclasses
+
+import pytest
+
+from repro.calibration import DEFAULT_CALIBRATION, STAGE_KINDS, Calibration
+from repro.units import celsius_to_kelvin
+
+
+class TestPublishedAnchors:
+    """Values the paper states explicitly (Figure 7(a)) are not free."""
+
+    def test_nominal_point(self):
+        c = DEFAULT_CALIBRATION
+        assert c.f_nominal == pytest.approx(4e9)
+        assert c.vdd_nominal == pytest.approx(1.0)
+
+    def test_constraints(self):
+        c = DEFAULT_CALIBRATION
+        assert c.p_max == pytest.approx(30.0)
+        assert c.t_max == pytest.approx(celsius_to_kelvin(85.0))
+        assert c.t_heatsink_max == pytest.approx(celsius_to_kelvin(70.0))
+        assert c.pe_max == pytest.approx(1e-4)
+
+    def test_memory_latencies(self):
+        c = DEFAULT_CALIBRATION
+        assert c.l1_roundtrip_cycles_nominal == 2
+        assert c.l2_roundtrip_cycles_nominal == 8
+        assert c.memory_roundtrip_cycles_nominal == 208
+        assert c.memory_latency_seconds == pytest.approx(208 / 4e9)
+
+    def test_lowslope_published_factors(self):
+        c = DEFAULT_CALIBRATION
+        # [1]: +30% power/area; variance doubles -> sigma x sqrt(2).
+        assert c.lowslope_power_factor == pytest.approx(1.30)
+        assert c.lowslope_sigma_factor**2 == pytest.approx(2.0)
+
+
+class TestInternalConsistency:
+    def test_stage_means_positive(self):
+        for kind in STAGE_KINDS:
+            assert 0.0 < DEFAULT_CALIBRATION.stage_mean(kind) < 1.0
+
+    def test_stage_balance_identity(self):
+        c = DEFAULT_CALIBRATION
+        for kind in STAGE_KINDS:
+            total = c.stage_mean(kind) + c.z_free * c.stage_sigma[kind]
+            assert total == pytest.approx(1.0)
+
+    def test_onset_sharpness_ordering(self):
+        c = DEFAULT_CALIBRATION
+        assert (
+            c.stage_sigma["memory"]
+            < c.stage_sigma["mixed"]
+            < c.stage_sigma["logic"]
+        )
+
+    def test_memory_has_most_parallel_paths(self):
+        c = DEFAULT_CALIBRATION
+        assert c.path_count["memory"] > c.path_count["logic"]
+
+    def test_repair_only_for_arrays(self):
+        c = DEFAULT_CALIBRATION
+        assert c.repair_quantile["logic"] == pytest.approx(1.0)
+        assert c.repair_quantile["memory"] < 1.0
+
+    def test_validate_catches_bad_sigma(self):
+        bad = dataclasses.replace(
+            DEFAULT_CALIBRATION,
+            stage_sigma={"memory": 0.2, "mixed": 0.2, "logic": 0.2},
+        )
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_validate_catches_bad_pe_max(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(DEFAULT_CALIBRATION, pe_max=2.0).validate()
+
+    def test_validate_catches_inverted_thermals(self):
+        bad = dataclasses.replace(
+            DEFAULT_CALIBRATION, t_max=celsius_to_kelvin(60.0)
+        )
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_power_budget_split(self):
+        c = DEFAULT_CALIBRATION
+        # ~30% static fraction at 45 nm.
+        frac = c.core_static_power_nominal / (
+            c.core_static_power_nominal + c.core_dynamic_power_nominal
+        )
+        assert 0.2 < frac < 0.4

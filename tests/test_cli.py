@@ -1,0 +1,26 @@
+"""The `python -m repro.exps` command-line interface."""
+
+import pytest
+
+from repro.exps.__main__ import main
+
+
+class TestCLI:
+    def test_area_target(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "10.6" in out and "Checker" in out
+
+    def test_fig1_target(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "T_nom" in out
+
+    def test_multiple_targets(self, capsys):
+        assert main(["area", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "=== area ===" in out and "=== fig2 ===" in out
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

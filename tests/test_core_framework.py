@@ -1,0 +1,101 @@
+"""The EVAL curve-transform framework (Figure 2 algebra)."""
+
+import numpy as np
+import pytest
+
+from repro.core import reshape, shift, tilt, tolerate
+from repro.timing import (
+    PerfParams,
+    processor_error_rate,
+    stage_delays,
+)
+
+
+@pytest.fixture(scope="module")
+def delays(core):
+    n = core.n_subsystems
+    return stage_delays(core, np.full(n, 1.0), np.zeros(n), core.calib.t_design)
+
+
+@pytest.fixture(scope="module")
+def rho(core):
+    return core.rho_ref
+
+
+@pytest.fixture(scope="module")
+def freqs(core):
+    return np.linspace(0.7, 1.3, 120) * core.calib.f_nominal
+
+
+class TestTilt:
+    def test_preserves_error_free_point(self, delays):
+        tilted = tilt(delays, 1.5)
+        assert np.allclose(
+            tilted.error_free_period(), delays.error_free_period()
+        )
+
+    def test_lowers_pe_above_f_var(self, delays, rho, freqs):
+        tilted = tilt(delays, 1.5)
+        pe_before = processor_error_rate(freqs[:, None], delays, rho)
+        pe_after = processor_error_rate(freqs[:, None], tilted, rho)
+        riding = pe_before > 1e-8
+        assert np.all(pe_after[riding] <= pe_before[riding])
+
+    def test_mask_limits_effect(self, delays):
+        mask = np.zeros_like(delays.sigma, dtype=bool)
+        mask[0] = True
+        tilted = tilt(delays, 2.0, which=mask)
+        assert tilted.sigma[0] == pytest.approx(2.0 * delays.sigma[0])
+        assert np.allclose(tilted.sigma[1:], delays.sigma[1:])
+
+    def test_rejects_nonpositive_factor(self, delays):
+        with pytest.raises(ValueError):
+            tilt(delays, 0.0)
+
+
+class TestShift:
+    def test_moves_error_free_point(self, delays):
+        shifted = shift(delays, 0.9)
+        assert np.allclose(
+            shifted.error_free_period(), 0.9 * delays.error_free_period()
+        )
+
+    def test_lowers_pe_everywhere(self, delays, rho, freqs):
+        shifted = shift(delays, 0.92)
+        pe_before = processor_error_rate(freqs[:, None], delays, rho)
+        pe_after = processor_error_rate(freqs[:, None], shifted, rho)
+        assert np.all(pe_after <= pe_before + 1e-30)
+
+    def test_rejects_nonpositive_factor(self, delays):
+        with pytest.raises(ValueError):
+            shift(delays, -1.0)
+
+
+class TestReshape:
+    def test_compresses_the_spread_of_stage_speeds(self, delays):
+        reshaped = reshape(delays, slow_factor=0.92, fast_factor=1.06)
+        before = delays.error_free_frequency()
+        after = reshaped.error_free_frequency()
+        assert after.min() > before.min()  # slow stages sped up
+        assert after.max() < before.max()  # fast stages relaxed
+
+    def test_raises_the_processor_error_free_frequency(self, delays):
+        reshaped = reshape(delays, 0.92, 1.05)
+        assert (
+            reshaped.error_free_frequency().min()
+            > delays.error_free_frequency().min()
+        )
+
+
+class TestTolerate:
+    def test_optimal_beyond_f_var(self, delays, rho, freqs):
+        params = PerfParams.from_calibration(0.9, 0.002)
+        curve = tolerate(delays, rho, params, freqs)
+        assert curve.f_opt > curve.f_var
+
+    def test_curve_shapes(self, delays, rho, freqs):
+        params = PerfParams.from_calibration(0.9, 0.002)
+        curve = tolerate(delays, rho, params, freqs)
+        assert curve.perfs.shape == freqs.shape
+        assert curve.error_rates.shape == freqs.shape
+        assert curve.perf_opt == pytest.approx(curve.perfs.max())

@@ -1,0 +1,143 @@
+"""The Freq and Power algorithms (Sections 4.2 / 4.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BASELINE,
+    TS,
+    TS_ASV,
+    TS_ASV_ABB,
+    budget_z,
+    core_subsystem_arrays,
+    freq_algorithm,
+    power_algorithm,
+)
+from repro.timing import StageModifiers
+
+
+@pytest.fixture(scope="module")
+def subs(core, int_measurement):
+    return core_subsystem_arrays(
+        core, int_measurement.activity, int_measurement.rho
+    )
+
+
+class TestBudgetZ:
+    def test_zero_budget_gives_z_free(self, subs):
+        z = budget_z(subs, 0.0)
+        assert np.all(z == subs.calib.z_free)
+
+    def test_budget_z_decreases_with_looser_budget(self, subs):
+        tight = budget_z(subs, 1e-8)
+        loose = budget_z(subs, 1e-3)
+        assert np.all(loose <= tight)
+
+    def test_z_clamped_to_design_margin(self, subs):
+        z = budget_z(subs, 1e-15)
+        assert np.all(z <= subs.calib.z_free)
+
+
+class TestFreqAlgorithm:
+    def test_ts_beats_baseline(self, subs, core):
+        base = freq_algorithm(subs, BASELINE.optimization_spec(15, core.calib))
+        ts = freq_algorithm(subs, TS.optimization_spec(15, core.calib))
+        assert ts.core_frequency() >= base.core_frequency()
+
+    def test_asv_beats_ts(self, subs, core):
+        ts = freq_algorithm(subs, TS.optimization_spec(15, core.calib))
+        asv = freq_algorithm(subs, TS_ASV.optimization_spec(15, core.calib))
+        # ASV can never hurt; on the bottleneck it should help unless the
+        # stage is already thermally capped at nominal supply.
+        assert asv.core_frequency() >= ts.core_frequency()
+        assert np.all(asv.f_max >= ts.f_max - 1e-6)
+        assert np.mean(asv.f_max - ts.f_max) > 1e8  # most stages gain
+
+    def test_abb_never_hurts(self, subs, core):
+        asv = freq_algorithm(subs, TS_ASV.optimization_spec(15, core.calib))
+        both = freq_algorithm(subs, TS_ASV_ABB.optimization_spec(15, core.calib))
+        assert both.core_frequency() >= asv.core_frequency() - 1e-6
+
+    def test_core_frequency_is_min_of_subsystems(self, subs, core, asv_spec):
+        result = freq_algorithm(subs, asv_spec)
+        assert result.core_frequency() <= result.f_max.min() + 1e-6
+
+    def test_frequency_on_100mhz_grid(self, subs, asv_spec):
+        f = freq_algorithm(subs, asv_spec).core_frequency()
+        steps = (f - asv_spec.knob_ranges.f_min) / asv_spec.knob_ranges.f_step
+        assert steps == pytest.approx(round(steps), abs=1e-6)
+
+    def test_chosen_knobs_are_legal_levels(self, subs, asv_spec):
+        result = freq_algorithm(subs, asv_spec)
+        for v in result.vdd:
+            assert np.min(np.abs(asv_spec.vdd_levels - v)) < 1e-9
+
+    def test_min_rest_excludes_target(self, subs, asv_spec):
+        result = freq_algorithm(subs, asv_spec)
+        bottleneck = int(np.argmin(result.f_max))
+        assert result.min_rest(bottleneck) >= result.f_max[bottleneck]
+
+    def test_shift_modifier_raises_subsystem_fmax(self, core, int_measurement, asv_spec):
+        idx = core.floorplan.index_of("IntQ")
+        n = core.n_subsystems
+        delay_scale = np.ones(n)
+        delay_scale[idx] = 0.9
+        modified = core_subsystem_arrays(
+            core,
+            int_measurement.activity,
+            int_measurement.rho,
+            StageModifiers(delay_scale=delay_scale, sigma_scale=np.ones(n)),
+        )
+        plain = core_subsystem_arrays(
+            core, int_measurement.activity, int_measurement.rho
+        )
+        f_mod = freq_algorithm(modified, asv_spec).f_max[idx]
+        f_plain = freq_algorithm(plain, asv_spec).f_max[idx]
+        assert f_mod > f_plain
+
+    def test_results_feasible(self, subs, asv_spec):
+        result = freq_algorithm(subs, asv_spec)
+        assert result.feasible.all()
+
+
+class TestPowerAlgorithm:
+    def test_all_subsystems_feasible_at_core_frequency(self, subs, core, asv_spec):
+        f_core = freq_algorithm(subs, asv_spec).core_frequency()
+        power = power_algorithm(subs, f_core, asv_spec)
+        assert power.feasible.all()
+
+    def test_respects_thermal_constraint(self, subs, asv_spec):
+        f_core = freq_algorithm(subs, asv_spec).core_frequency()
+        power = power_algorithm(subs, f_core, asv_spec)
+        assert power.max_temperature() <= asv_spec.t_max + 0.1
+
+    def test_meets_timing_at_chosen_voltages(self, subs, core, asv_spec):
+        f_core = freq_algorithm(subs, asv_spec).core_frequency()
+        power = power_algorithm(subs, f_core, asv_spec)
+        z = budget_z(subs, asv_spec.pe_budget)
+        period = subs.budget_period_rel(
+            power.vdd, power.vbb, power.temperature, z
+        ) / core.calib.f_nominal
+        assert np.all(period <= 1.0 / f_core + 1e-15)
+
+    def test_lower_frequency_means_no_more_power(self, subs, asv_spec):
+        f_hi = freq_algorithm(subs, asv_spec).core_frequency()
+        p_hi = power_algorithm(subs, f_hi, asv_spec).core_power()
+        p_lo = power_algorithm(subs, f_hi * 0.75, asv_spec).core_power()
+        assert p_lo < p_hi
+
+    def test_slack_subsystems_get_reduced_vdd(self, subs, asv_spec):
+        f_core = freq_algorithm(subs, asv_spec).core_frequency()
+        power = power_algorithm(subs, f_core, asv_spec)
+        # At least a third of the subsystems should save power below
+        # nominal supply (the Reshape behaviour of Fig 2(d)).
+        assert np.count_nonzero(power.vdd < 1.0) >= 5
+
+    def test_accepts_per_row_frequencies(self, subs, asv_spec):
+        f = np.full(len(subs), 3.0e9)
+        result = power_algorithm(subs, f, asv_spec)
+        assert result.vdd.shape == (len(subs),)
+
+    def test_rejects_nonpositive_frequency(self, subs, asv_spec):
+        with pytest.raises(ValueError):
+            power_algorithm(subs, 0.0, asv_spec)

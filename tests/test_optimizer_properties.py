@@ -1,0 +1,108 @@
+"""Property-based tests on the Freq/Power optimisation layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import DEFAULT_CALIBRATION
+from repro.core import OptimizationSpec, SubsystemArrays, budget_z, freq_algorithm
+from repro.circuits import DEFAULT_KNOB_RANGES
+
+
+def make_batch(vt0, leff, alpha, rho, tail):
+    """One-subsystem batch with mixed-stage shape parameters."""
+    calib = DEFAULT_CALIBRATION
+    sigma = calib.stage_sigma["mixed"]
+    mean = calib.stage_mean("mixed") + tail
+    return SubsystemArrays(
+        vt0_timing=np.array([vt0]),
+        leff_timing=np.array([leff]),
+        vt0_leak=np.array([vt0 - 0.02]),
+        rth=np.array([2.0]),
+        kdyn=np.array([3e-10]),
+        ksta=np.array([2e-4]),
+        alpha=np.array([alpha]),
+        rho=np.array([rho]),
+        stage_mean_rel=np.array([mean]),
+        stage_sigma_rel=np.array([sigma]),
+        power_factor=np.array([1.0]),
+        calib=calib,
+    )
+
+
+def make_spec(pe_budget=DEFAULT_CALIBRATION.pe_max / 15, asv=True):
+    calib = DEFAULT_CALIBRATION
+    kr = DEFAULT_KNOB_RANGES
+    return OptimizationSpec(
+        vdd_levels=kr.vdd_levels() if asv else np.array([1.0]),
+        vbb_levels=np.array([0.0]),
+        pe_budget=pe_budget,
+        t_max=calib.t_max,
+        t_heatsink=calib.t_heatsink_max,
+    )
+
+
+subsystem_params = dict(
+    vt0=st.floats(min_value=0.08, max_value=0.25),
+    leff=st.floats(min_value=0.9, max_value=1.12),
+    alpha=st.floats(min_value=0.05, max_value=1.2),
+    rho=st.floats(min_value=0.05, max_value=1.5),
+    tail=st.floats(min_value=0.0, max_value=0.12),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(**subsystem_params)
+def test_fmax_within_knob_range(vt0, leff, alpha, rho, tail):
+    batch = make_batch(vt0, leff, alpha, rho, tail)
+    result = freq_algorithm(batch, make_spec())
+    kr = DEFAULT_KNOB_RANGES
+    assert kr.f_min - 1e-6 <= result.f_max[0] <= kr.f_max + 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(**subsystem_params)
+def test_asv_never_hurts_fmax(vt0, leff, alpha, rho, tail):
+    batch = make_batch(vt0, leff, alpha, rho, tail)
+    with_asv = freq_algorithm(batch, make_spec(asv=True))
+    without = freq_algorithm(batch, make_spec(asv=False))
+    assert with_asv.f_max[0] >= without.f_max[0] - 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(**subsystem_params)
+def test_looser_pe_budget_never_hurts(vt0, leff, alpha, rho, tail):
+    batch = make_batch(vt0, leff, alpha, rho, tail)
+    tight = freq_algorithm(batch, make_spec(pe_budget=1e-7))
+    loose = freq_algorithm(batch, make_spec(pe_budget=1e-3))
+    assert loose.f_max[0] >= tight.f_max[0] - 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(**subsystem_params)
+def test_longer_tail_never_raises_fmax(vt0, leff, alpha, rho, tail):
+    batch_short = make_batch(vt0, leff, alpha, rho, tail)
+    batch_long = make_batch(vt0, leff, alpha, rho, tail + 0.05)
+    spec = make_spec()
+    f_short = freq_algorithm(batch_short, spec).f_max[0]
+    f_long = freq_algorithm(batch_long, spec).f_max[0]
+    assert f_long <= f_short + 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rho=st.floats(min_value=1e-3, max_value=2.0),
+    budget=st.floats(min_value=1e-8, max_value=1e-2),
+)
+def test_budget_z_inverts_gaussian_tail(rho, budget):
+    from scipy.stats import norm
+
+    batch = make_batch(0.15, 1.0, 0.5, rho, 0.05)
+    z = budget_z(batch, budget)[0]
+    calib = DEFAULT_CALIBRATION
+    if 0.0 < z < calib.z_free:
+        # Interior solution: Q(z) * rho == budget.
+        assert rho * norm.sf(z) == pytest.approx(budget, rel=1e-6)
+    else:
+        assert z in (0.0, calib.z_free) or 0.0 <= z <= calib.z_free

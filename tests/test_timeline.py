@@ -1,0 +1,62 @@
+"""The Figure 6 runtime: phase-driven adaptation with config reuse."""
+
+import pytest
+
+from repro.core import TS, TS_ASV, run_timeline
+from repro.core.timeline import TimelineCosts
+from repro.microarch import generate_phase_stream
+
+
+@pytest.fixture(scope="module")
+def stream(fp_workload):
+    return generate_phase_stream(fp_workload, total_ms=1200, seed=5)
+
+
+@pytest.fixture(scope="module")
+def timeline(core, stream):
+    return run_timeline(core, TS_ASV, stream)
+
+
+class TestTimeline:
+    def test_one_event_per_phase(self, timeline, stream):
+        assert len(timeline.events) == len(stream)
+
+    def test_recurring_phases_reuse_configs(self, timeline, stream):
+        distinct = len({p.spec.name for p in stream})
+        assert timeline.controller_runs == distinct
+        assert timeline.reuse_fraction > 0.4
+
+    def test_overhead_is_negligible(self, timeline):
+        # Paper: adapting at ~120 ms phase boundaries has minimal overhead.
+        assert timeline.mean_overhead_fraction < 1e-3
+
+    def test_frequencies_within_legal_range(self, timeline, core):
+        for event in timeline.events:
+            assert 2.4e9 <= event.f_rel * core.calib.f_nominal <= 5.6e9
+
+    def test_same_phase_gets_same_frequency(self, timeline):
+        by_phase = {}
+        for event in timeline.events:
+            by_phase.setdefault(event.phase_name, set()).add(event.f_rel)
+        assert all(len(fs) == 1 for fs in by_phase.values())
+
+    def test_perf_accounting_positive(self, timeline):
+        assert timeline.mean_perf_rel() > 0.0
+
+    def test_ts_runs_slower_than_ts_asv(self, core, stream, timeline):
+        ts_result = run_timeline(core, TS, stream)
+        mean_ts = sum(e.f_rel for e in ts_result.events) / len(ts_result.events)
+        mean_asv = sum(e.f_rel for e in timeline.events) / len(timeline.events)
+        assert mean_ts < mean_asv
+
+    def test_costs_scale_overhead(self, core, stream):
+        slow = run_timeline(
+            core,
+            TS,
+            stream,
+            costs=TimelineCosts(
+                activity_measurement=2e-3, controller_run=2e-3, transition=2e-3
+            ),
+        )
+        fast = run_timeline(core, TS, stream)
+        assert slow.mean_overhead_fraction > fast.mean_overhead_fraction

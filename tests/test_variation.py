@@ -1,0 +1,198 @@
+"""VARIUS-style variation model: correlogram, grid, maps, populations."""
+
+import numpy as np
+import pytest
+
+from repro.variation import (
+    ChipSample,
+    DieGrid,
+    VariationModel,
+    VariationParams,
+    correlated_normal_factor,
+    correlation_matrix,
+    spherical_correlation,
+)
+
+
+class TestSphericalCorrelation:
+    def test_unity_at_zero_distance(self):
+        assert spherical_correlation(0.0, 0.5) == pytest.approx(1.0)
+
+    def test_zero_at_and_beyond_range(self):
+        assert spherical_correlation(0.5, 0.5) == pytest.approx(0.0)
+        assert spherical_correlation(2.0, 0.5) == pytest.approx(0.0)
+
+    def test_monotone_decreasing(self):
+        r = np.linspace(0.0, 0.5, 50)
+        rho = spherical_correlation(r, 0.5)
+        assert np.all(np.diff(rho) <= 1e-12)
+
+    def test_rejects_bad_phi(self):
+        with pytest.raises(ValueError):
+            spherical_correlation(0.1, 0.0)
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            spherical_correlation(-0.1, 0.5)
+
+    def test_correlation_matrix_is_symmetric_with_unit_diagonal(self):
+        points = np.random.default_rng(0).random((10, 2))
+        corr = correlation_matrix(points, 0.5)
+        assert np.allclose(corr, corr.T)
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_factor_reproduces_matrix(self):
+        points = np.random.default_rng(1).random((15, 2))
+        corr = correlation_matrix(points, 0.5)
+        factor = correlated_normal_factor(points, 0.5)
+        assert np.allclose(factor @ factor.T, corr, atol=1e-6)
+
+
+class TestDieGrid:
+    def test_cell_centers_shape_and_bounds(self):
+        grid = DieGrid(nx=5, ny=4)
+        centers = grid.cell_centers()
+        assert centers.shape == (20, 2)
+        assert centers.min() > 0.0 and centers.max() < 1.0
+
+    def test_cell_index_at_corners(self):
+        grid = DieGrid(nx=4, ny=4)
+        assert grid.cell_index_at(0.01, 0.01) == 0
+        assert grid.cell_index_at(0.99, 0.99) == 15
+
+    def test_cell_index_rejects_outside(self):
+        with pytest.raises(ValueError):
+            DieGrid().cell_index_at(1.5, 0.5)
+
+    def test_cells_in_rect_returns_inside_cells(self):
+        grid = DieGrid(nx=10, ny=10)
+        cells = grid.cells_in_rect(0.0, 0.0, 0.5, 0.5)
+        assert len(cells) == 25
+
+    def test_cells_in_rect_tiny_rectangle_gets_one_cell(self):
+        grid = DieGrid(nx=4, ny=4)
+        cells = grid.cells_in_rect(0.26, 0.26, 0.27, 0.27)
+        assert len(cells) == 1
+
+    def test_cells_in_rect_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            DieGrid().cells_in_rect(0.5, 0.5, 0.5, 0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DieGrid(nx=0)
+
+
+class TestVariationParams:
+    def test_figure_7a_defaults(self):
+        p = VariationParams()
+        assert p.vt_mean == pytest.approx(0.150)
+        assert p.vt_sigma_rel == pytest.approx(0.09)
+        assert p.leff_sigma_rel == pytest.approx(0.045)  # 0.5 x Vt's
+        assert p.phi == pytest.approx(0.5)
+
+    def test_equal_split_of_variance(self):
+        p = VariationParams()
+        total = np.hypot(p.vt_sigma_sys, p.vt_sigma_ran)
+        assert total == pytest.approx(p.vt_mean * p.vt_sigma_rel)
+        assert p.vt_sigma_sys == pytest.approx(p.vt_sigma_ran)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            VariationParams(systematic_fraction=1.5)
+
+    def test_rejects_nonpositive_phi(self):
+        with pytest.raises(ValueError):
+            VariationParams(phi=0.0)
+
+
+class TestChipSample:
+    def test_population_is_reproducible(self, variation_model):
+        a = variation_model.population(3, seed=9)
+        b = variation_model.population(3, seed=9)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.vt_sys, y.vt_sys)
+            assert np.array_equal(x.leff_sys, y.leff_sys)
+
+    def test_population_chips_differ(self, population):
+        assert not np.array_equal(population[0].vt_sys, population[1].vt_sys)
+
+    def test_systematic_sigma_close_to_spec(self, variation_model):
+        chips = variation_model.population(40, seed=3)
+        values = np.concatenate([c.vt_sys for c in chips])
+        expected = variation_model.params.vt_sigma_sys
+        assert np.std(values) == pytest.approx(expected, rel=0.1)
+
+    def test_spatial_correlation_decays(self, population):
+        chip = population[0]
+        grid = chip.grid
+        field = chip.vt_sys.reshape(grid.ny, grid.nx)
+        # Neighbouring columns should correlate far more than distant ones.
+        near = np.corrcoef(field[:, 0], field[:, 1])[0, 1]
+        # Average several distant pairs (single-pair estimates are noisy).
+        far = np.mean(
+            [
+                np.corrcoef(field[:, i], field[:, i + grid.nx - 4])[0, 1]
+                for i in range(3)
+            ]
+        )
+        assert near > 0.8
+        assert near > far + 0.2
+
+    def test_region_stats_ordering(self, population):
+        chip = population[0]
+        cells = chip.grid.cells_in_rect(0.0, 0.0, 0.4, 0.4)
+        stats = chip.region_vt0(cells)
+        assert stats.worst_leaky <= stats.mean <= stats.worst_slow
+
+    def test_shape_validation(self):
+        grid = DieGrid(nx=3, ny=3)
+        with pytest.raises(ValueError):
+            ChipSample(
+                grid=grid,
+                params=VariationParams(),
+                vt_sys=np.zeros(5),
+                leff_sys=np.zeros(9),
+            )
+
+    def test_rejects_nonpositive_leff(self):
+        grid = DieGrid(nx=2, ny=2)
+        with pytest.raises(ValueError):
+            ChipSample(
+                grid=grid,
+                params=VariationParams(),
+                vt_sys=np.zeros(4),
+                leff_sys=np.full(4, -1.5),
+            )
+
+    def test_vt_leff_independent_by_default(self, variation_model):
+        chips = variation_model.population(30, seed=11)
+        vt = np.concatenate([c.vt_sys for c in chips])
+        leff = np.concatenate([c.leff_sys for c in chips])
+        assert abs(np.corrcoef(vt, leff)[0, 1]) < 0.12
+
+
+class TestDieToDie:
+    def test_d2d_widens_chip_mean_spread(self, variation_model):
+        from repro.variation import VariationModel, VariationParams
+
+        wid_only = variation_model.population(30, seed=2)
+        d2d_model = VariationModel(
+            grid=variation_model.grid,
+            params=VariationParams(d2d_sigma_rel=0.08),
+        )
+        with_d2d = d2d_model.population(30, seed=2)
+        spread_wid = np.std([c.vt_sys.mean() for c in wid_only])
+        spread_d2d = np.std([c.vt_sys.mean() for c in with_d2d])
+        assert spread_d2d > 2 * spread_wid
+
+    def test_d2d_defaults_off(self):
+        from repro.variation import VariationParams
+
+        assert VariationParams().d2d_sigma_rel == 0.0
+
+    def test_d2d_validation(self):
+        from repro.variation import VariationParams
+
+        with pytest.raises(ValueError):
+            VariationParams(d2d_sigma_rel=-0.1)
