@@ -4,6 +4,12 @@ The Figures 10-12 benchmarks share one ladder computation; fuzzy banks and
 measurements are cached inside the shared runner.  Scale is controlled by
 ``EVAL_REPRO_CHIPS`` (default 8 chips x 1 core; the paper uses 100 x 4 —
 set ``EVAL_REPRO_CHIPS=100 EVAL_REPRO_CORES=4`` to match it exactly).
+
+Engine knobs: ``EVAL_REPRO_JOBS=N`` shards the Monte-Carlo population
+across N worker processes (bit-identical results), and
+``EVAL_REPRO_CACHE=DIR`` persists measurements, trained fuzzy banks, and
+whole suite summaries across benchmark sessions — a warm-cache re-run of
+e.g. ``bench_fig10`` skips the Monte-Carlo work entirely.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 import os
 from functools import lru_cache
 
+from repro.exps.cache import ExperimentCache
 from repro.exps.ladder import run_ladder
 from repro.exps.runner import ExperimentRunner, RunnerConfig
 
@@ -21,19 +28,29 @@ def scale() -> "tuple[int, int]":
     return chips, cores
 
 
+def jobs() -> int:
+    return int(os.environ.get("EVAL_REPRO_JOBS", "1"))
+
+
+def cache_dir() -> "str | None":
+    return os.environ.get("EVAL_REPRO_CACHE") or None
+
+
 @lru_cache(maxsize=1)
 def shared_runner() -> ExperimentRunner:
     chips, cores = scale()
+    root = cache_dir()
     return ExperimentRunner(
         RunnerConfig(
             n_chips=chips,
             cores_per_chip=cores,
             fuzzy_examples=int(os.environ.get("EVAL_REPRO_FC_EXAMPLES", "4000")),
             fuzzy_epochs=2,
-        )
+        ),
+        cache=ExperimentCache(root) if root else None,
     )
 
 
 @lru_cache(maxsize=1)
 def shared_ladder():
-    return run_ladder(shared_runner())
+    return run_ladder(shared_runner(), parallelism=jobs())

@@ -39,11 +39,13 @@ from .core import (
     Environment,
     optimize_phase,
 )
+from .exps.engine import RunResult, RunSpec
+from .exps.runner import ExperimentRunner, RunnerConfig
 from .microarch import measure_workload, spec2000_like_suite
 from .mitigation import TechniqueState, area_budget
 from .variation import VariationModel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ADAPTIVE_ENVIRONMENTS",
@@ -53,7 +55,11 @@ __all__ = [
     "Calibration",
     "DEFAULT_CALIBRATION",
     "Environment",
+    "ExperimentRunner",
     "NOVAR",
+    "RunResult",
+    "RunSpec",
+    "RunnerConfig",
     "TS",
     "TS_ASV",
     "TS_ASV_Q_FU",

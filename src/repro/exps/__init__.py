@@ -1,13 +1,21 @@
-"""Experiment harness: one module per paper table/figure (see DESIGN.md)."""
+"""Experiment harness: one module per paper table/figure (see DESIGN.md).
+
+The Monte-Carlo driver is exposed through one entry point:
+``ExperimentRunner.run(RunSpec(...))`` — see :mod:`repro.exps.engine` for
+the parallel sharding and :mod:`repro.exps.cache` for the on-disk
+artifact cache.
+"""
 
 from .area_table import area_rows, run_area_table
+from .cache import ExperimentCache
+from .engine import RunResult, RunSpec
 from .fig1_paths import Fig1Result, run_fig1
 from .fig2_taxonomy import Fig2Result, run_fig2
 from .fig8_tradeoff import Fig8Result, run_fig8
 from .fig9_surfaces import Fig9Result, run_fig9
 from .fig13_outcomes import OPT_CONFIGS, Fig13Result, run_fig13
 from .ladder import MODES, LadderResult, run_ladder
-from .reporting import ascii_chart, format_series, format_table
+from .reporting import ascii_chart, format_series, format_table, results_table
 from .retiming_comparison import RetimingComparison, run_retiming_comparison
 from .sensitivity import SensitivityPoint, SensitivityResult, run_sensitivity
 from .runner import (
@@ -19,6 +27,7 @@ from .runner import (
 from .table2_accuracy import Table2Result, run_table2
 
 __all__ = [
+    "ExperimentCache",
     "ExperimentRunner",
     "Fig13Result",
     "Fig1Result",
@@ -29,6 +38,8 @@ __all__ = [
     "MODES",
     "OPT_CONFIGS",
     "PhaseResult",
+    "RunResult",
+    "RunSpec",
     "RunnerConfig",
     "RetimingComparison",
     "SensitivityPoint",
@@ -39,6 +50,7 @@ __all__ = [
     "ascii_chart",
     "format_series",
     "format_table",
+    "results_table",
     "run_area_table",
     "run_fig1",
     "run_fig13",

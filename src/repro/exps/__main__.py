@@ -4,19 +4,28 @@ Usage::
 
     python -m repro.exps fig1|fig2|fig8|fig9|fig10|fig11|fig12|fig13|table2|area
     python -m repro.exps fig10 --chips 20 --cores 2
+    python -m repro.exps fig10 fig11 --chips 100 --cores 4 --jobs 8 \
+        --cache-dir ~/.cache/eval-repro
 
 Figures 10-12 share one ladder computation; requesting several of them in
-one invocation reuses it.
+one invocation reuses it.  ``--jobs N`` shards the Monte-Carlo population
+across N worker processes (results are bit-identical to ``--jobs 1``);
+``--cache-dir`` persists measurements, trained fuzzy banks, and suite
+summaries across invocations; ``--no-cache`` disables the disk cache.
+The ``EVAL_REPRO_JOBS`` and ``EVAL_REPRO_CACHE`` environment variables
+provide the defaults for ``--jobs`` and ``--cache-dir``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
 
 from .area_table import area_rows, run_area_table
+from .cache import ExperimentCache
 from .fig1_paths import run_fig1
 from .fig2_taxonomy import run_fig2
 from .fig8_tradeoff import run_fig8
@@ -58,7 +67,28 @@ def main(argv=None) -> int:
     parser.add_argument("--cores", type=int, default=1)
     parser.add_argument("--fc-examples", type=int, default=4000)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=int(os.environ.get("EVAL_REPRO_JOBS", "1")),
+        help="worker processes for Monte-Carlo targets (default: "
+             "$EVAL_REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("EVAL_REPRO_CACHE") or None,
+        help="persist measurements/banks/summaries here (default: "
+             "$EVAL_REPRO_CACHE)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk artifact cache",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    cache_dir = None if args.no_cache else args.cache_dir
 
     targets = ALL_TARGETS if "all" in args.targets else args.targets
     runner = None
@@ -73,7 +103,8 @@ def main(argv=None) -> int:
                     cores_per_chip=args.cores,
                     fuzzy_examples=args.fc_examples,
                     seed=args.seed,
-                )
+                ),
+                cache=ExperimentCache(cache_dir) if cache_dir else None,
             )
         return runner
 
@@ -81,7 +112,11 @@ def main(argv=None) -> int:
         print(f"\n=== {target} ===")
         if target in LADDER_TARGETS:
             if ladder is None:
-                ladder = run_ladder(get_runner())
+                ladder = run_ladder(
+                    get_runner(),
+                    parallelism=args.jobs,
+                    use_cache=not args.no_cache,
+                )
             _print_ladder(ladder, target)
         elif target == "fig1":
             result = run_fig1()
@@ -112,7 +147,7 @@ def main(argv=None) -> int:
                   f"{result.min_pe.max():.1e} over "
                   f"{result.min_pe.shape} (power x freq) grid")
         elif target == "fig13":
-            result = run_fig13(get_runner())
+            result = run_fig13(get_runner(), parallelism=args.jobs)
             print(format_table(
                 "outcomes (%)",
                 ["Opt", "Env"] + OUTCOME_ORDER,

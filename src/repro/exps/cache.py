@@ -1,0 +1,275 @@
+"""Content-addressed on-disk cache for hot Monte-Carlo artifacts.
+
+The experiment engine reuses three expensive artifact classes across runs
+and across worker processes:
+
+* **Workload measurements** — the Eq 5 inputs produced by the trace-driven
+  pipeline model, identical for every chip in the population.
+* **Trained fuzzy-controller banks** — the manufacturer-site training of
+  Appendix A, identical for every chip sharing a knob environment (stored
+  through the :mod:`repro.ml.persistence` ``.npz`` round trip).
+* **Suite summaries** — whole (environment, mode) cells of Figures 10-12,
+  stored in the :meth:`repro.exps.runner.SuiteSummary.to_json` wire format.
+
+Every artifact is addressed by a SHA-256 of its *inputs*: the calibration
+constants, the runner scale knobs, the workload/phase fingerprint, and the
+environment's capability set.  Changing any of them (e.g. a recalibrated
+``systematic_delay_gain``) changes the key, so stale entries are never
+served — invalidation is free and the cache directory can be shared by
+concurrent processes (writes go through a temp file + atomic rename).
+
+Layout under the cache root::
+
+    measurements/<key>.npz   arrays + JSON metadata
+    banks/<key>.npz          repro.ml.persistence archives
+    summaries/<key>.json     SuiteSummary wire format
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from enum import Enum
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..calibration import Calibration
+from ..core.environments import AdaptationMode, Environment
+from ..core.optimizer import OptimizationSpec
+from ..microarch.pipeline import CoreConfig
+from ..microarch.simulator import WorkloadMeasurement
+from ..microarch.workloads import WorkloadProfile
+from ..ml.bank import ControllerBank
+from ..ml.persistence import load_bank, save_bank
+
+#: Bump when the stored artifact layout changes; keys include it, so old
+#: cache directories keep working (their entries just stop being hit).
+CACHE_FORMAT_VERSION = 1
+
+_MEAS_META_FIELDS = (
+    "name", "phase", "domain", "cpi_comp", "cpi_total",
+    "l2_miss_rate", "overlap_factor", "ipc",
+)
+
+
+# ----------------------------------------------------------------------
+# Stable fingerprinting.
+# ----------------------------------------------------------------------
+def jsonable(obj: Any) -> Any:
+    """Convert nested dataclasses / enums / numpy values to JSON types.
+
+    Dict keys are stringified (enum keys by their ``.name``) and sorted by
+    :func:`json.dumps`, so equal objects always produce equal documents.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Enum):
+        return obj.name
+    if isinstance(obj, np.ndarray):
+        return [jsonable(v) for v in obj.tolist()]
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {
+            (key.name if isinstance(key, Enum) else str(key)): jsonable(value)
+            for key, value in obj.items()
+        }
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(v) for v in obj]
+    return obj
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 hex digest of an object's canonical JSON form."""
+    document = json.dumps(jsonable(obj), sort_keys=True)
+    return hashlib.sha256(document.encode()).hexdigest()
+
+
+def measurement_key(
+    calib: Calibration,
+    profile: WorkloadProfile,
+    config: CoreConfig,
+    n_instructions: int,
+    seed: int,
+) -> str:
+    """Cache key for one (workload-phase, pipeline-config) measurement."""
+    return stable_hash({
+        "version": CACHE_FORMAT_VERSION,
+        "kind": "measurement",
+        "calib": calib,
+        "profile": profile,
+        "config": config,
+        "n_instructions": n_instructions,
+        "seed": seed,
+    })
+
+
+def bank_key(
+    calib: Calibration,
+    spec: OptimizationSpec,
+    n_examples: int,
+    epochs: int,
+    seed: int,
+) -> str:
+    """Cache key for one environment's trained controller bank."""
+    return stable_hash({
+        "version": CACHE_FORMAT_VERSION,
+        "kind": "bank",
+        "calib": calib,
+        "spec": spec,
+        "n_examples": n_examples,
+        "epochs": epochs,
+        "seed": seed,
+    })
+
+
+def summary_key(
+    calib: Calibration,
+    runner_config: Any,
+    core_config: CoreConfig,
+    env: Environment,
+    mode: AdaptationMode,
+    workloads: Sequence[WorkloadProfile],
+) -> str:
+    """Cache key for a whole (environment, mode) suite summary."""
+    return stable_hash({
+        "version": CACHE_FORMAT_VERSION,
+        "kind": "summary",
+        "calib": calib,
+        "runner_config": runner_config,
+        "core_config": core_config,
+        "env": env,
+        "mode": mode,
+        "workloads": list(workloads),
+    })
+
+
+# ----------------------------------------------------------------------
+# The cache itself.
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters, per artifact kind."""
+
+    hits: Dict[str, int] = dataclasses.field(
+        default_factory=lambda: {"measurement": 0, "bank": 0, "summary": 0}
+    )
+    misses: Dict[str, int] = dataclasses.field(
+        default_factory=lambda: {"measurement": 0, "bank": 0, "summary": 0}
+    )
+
+    def record(self, kind: str, hit: bool) -> None:
+        (self.hits if hit else self.misses)[kind] += 1
+
+
+class ExperimentCache:
+    """Filesystem-backed store for measurements, banks and summaries."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.stats = CacheStats()
+        for sub in ("measurements", "banks", "summaries"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExperimentCache({str(self.root)!r})"
+
+    # -- paths ----------------------------------------------------------
+    def _path(self, kind: str, key: str, suffix: str) -> Path:
+        return self.root / kind / f"{key}{suffix}"
+
+    @staticmethod
+    def _atomic_replace(write, final: Path) -> None:
+        """Write via a sibling temp file, then atomically rename.
+
+        The temp file keeps the final suffix — ``np.savez`` silently
+        appends ``.npz`` to any other name, which would leave the real
+        temp file empty.
+        """
+        fd, tmp = tempfile.mkstemp(
+            dir=str(final.parent), prefix=".tmp-", suffix=final.suffix
+        )
+        os.close(fd)
+        try:
+            write(Path(tmp))
+            os.replace(tmp, final)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- measurements ---------------------------------------------------
+    def load_measurement(self, key: str) -> Optional[WorkloadMeasurement]:
+        """Return a cached measurement, or ``None`` on a miss."""
+        path = self._path("measurements", key, ".npz")
+        if not path.exists():
+            self.stats.record("measurement", hit=False)
+            return None
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["__meta__"]).decode())
+            measurement = WorkloadMeasurement(
+                activity=archive["activity"],
+                rho=archive["rho"],
+                **meta,
+            )
+        self.stats.record("measurement", hit=True)
+        return measurement
+
+    def save_measurement(self, key: str, meas: WorkloadMeasurement) -> None:
+        """Store one measurement (arrays binary, scalars as JSON)."""
+        meta = {name: getattr(meas, name) for name in _MEAS_META_FIELDS}
+        path = self._path("measurements", key, ".npz")
+        self._atomic_replace(
+            lambda tmp: np.savez(
+                tmp,
+                activity=meas.activity,
+                rho=meas.rho,
+                __meta__=np.frombuffer(
+                    json.dumps(meta).encode(), dtype=np.uint8
+                ),
+            ),
+            path,
+        )
+
+    # -- controller banks -----------------------------------------------
+    def load_bank(self, key: str) -> Optional[ControllerBank]:
+        """Return a cached trained bank, or ``None`` on a miss."""
+        path = self._path("banks", key, ".npz")
+        if not path.exists():
+            self.stats.record("bank", hit=False)
+            return None
+        bank = load_bank(path)
+        self.stats.record("bank", hit=True)
+        return bank
+
+    def save_bank(self, key: str, bank: ControllerBank) -> None:
+        """Store one trained bank through :mod:`repro.ml.persistence`."""
+        path = self._path("banks", key, ".npz")
+        self._atomic_replace(lambda tmp: save_bank(bank, tmp), path)
+
+    # -- suite summaries -------------------------------------------------
+    def load_summary(self, key: str):
+        """Return a cached :class:`SuiteSummary`, or ``None`` on a miss."""
+        from .runner import SuiteSummary  # runner imports this module
+
+        path = self._path("summaries", key, ".json")
+        if not path.exists():
+            self.stats.record("summary", hit=False)
+            return None
+        summary = SuiteSummary.from_json(path.read_text())
+        self.stats.record("summary", hit=True)
+        return summary
+
+    def save_summary(self, key: str, summary) -> None:
+        """Store one suite summary in the shared JSON wire format."""
+        path = self._path("summaries", key, ".json")
+        text = summary.to_json()
+        self._atomic_replace(lambda tmp: tmp.write_text(text), path)

@@ -1,0 +1,266 @@
+"""Parallel Monte-Carlo execution engine behind ``ExperimentRunner.run``.
+
+The paper's evaluation is embarrassingly parallel across the chip
+population: every (chip, core) pair is adapted independently, sharing only
+read-only inputs (workload measurements, trained controller banks).  The
+engine shards the population across a :class:`~concurrent.futures.
+ProcessPoolExecutor`.  Workers rebuild their cores locally from the
+``(seed, chip_index)`` recipe — the Monte-Carlo population draw is
+deterministic — so only light, picklable specs cross process boundaries:
+a :class:`~repro.exps.runner.RunnerConfig`, a :class:`Calibration`,
+:class:`Environment` values, and the :class:`~repro.exps.runner.
+PhaseResult` record dicts coming back.
+
+Heavy shared artifacts never ride the pipe.  Trained fuzzy banks are
+written to the content-addressed disk cache (:mod:`repro.exps.cache`) by
+the parent before dispatch and loaded by workers; when the caller did not
+configure a cache, an ephemeral one is created for the duration of the
+run.  Determinism is by construction: a worker executes exactly the same
+per-(chip, core) unit function as the serial loop, and units are
+reassembled in serial iteration order, so a parallel run is bit-identical
+to the serial run at the same seed.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.environments import AdaptationMode, Environment
+from ..microarch.workloads import WorkloadProfile
+from .cache import ExperimentCache, summary_key
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One experiment campaign: a grid of (environment, mode) cells.
+
+    Attributes:
+        environments: Environments to run (a single one is accepted).
+        modes: Adaptation modes; the grid is the cross product with
+            ``environments``.  Non-variation environments (``NoVar``) are
+            computed once and reported under every requested mode.
+        workloads: Workload profiles (default: the runner's suite).
+        parallelism: Worker processes; ``1`` runs in-process (serial).
+        cache_dir: On-disk artifact cache root.  ``None`` falls back to
+            the runner's configured cache (if any).
+        use_cache: ``False`` disables the disk cache entirely (the
+            ``--no-cache`` flag); in-memory memoisation still applies.
+    """
+
+    environments: Tuple[Environment, ...]
+    modes: Tuple[AdaptationMode, ...] = (AdaptationMode.EXH_DYN,)
+    workloads: Optional[Tuple[WorkloadProfile, ...]] = None
+    parallelism: int = 1
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        envs = self.environments
+        if isinstance(envs, Environment):
+            envs = (envs,)
+        object.__setattr__(self, "environments", tuple(envs))
+        modes = self.modes
+        if isinstance(modes, AdaptationMode):
+            modes = (modes,)
+        object.__setattr__(self, "modes", tuple(modes))
+        if self.workloads is not None:
+            object.__setattr__(self, "workloads", tuple(self.workloads))
+        if not self.environments or not self.modes:
+            raise ValueError("RunSpec needs at least one environment and mode")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+
+    def pairs(self) -> List[Tuple[Environment, AdaptationMode]]:
+        """The (environment, mode) cells of the campaign, in grid order."""
+        return [(env, mode) for env in self.environments for mode in self.modes]
+
+
+@dataclass
+class RunResult:
+    """All suite summaries of one :class:`RunSpec` campaign."""
+
+    spec: RunSpec
+    summaries: Dict[Tuple[str, str], "SuiteSummary"] = field(default_factory=dict)
+
+    def summary(
+        self,
+        env: Union[Environment, str],
+        mode: Union[AdaptationMode, str, None] = None,
+    ) -> "SuiteSummary":
+        """Look up one cell; ``mode`` defaults to the spec's only mode."""
+        env_name = env.name if isinstance(env, Environment) else env
+        if mode is None:
+            if len(self.spec.modes) != 1:
+                raise ValueError("multiple modes in spec: pass mode explicitly")
+            mode = self.spec.modes[0]
+        mode_value = mode.value if isinstance(mode, AdaptationMode) else mode
+        return self.summaries[(env_name, mode_value)]
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery.  Globals are per-process: the initializer runs
+# once per worker and rebuilds the full runner from the light specs.
+# ----------------------------------------------------------------------
+_WORKER_RUNNER = None
+
+
+def _init_worker(config, calib, core_config, workloads, cache_root) -> None:
+    """Build this worker's private runner (population, cores, caches)."""
+    global _WORKER_RUNNER
+    from .runner import ExperimentRunner
+
+    cache = ExperimentCache(cache_root) if cache_root else None
+    _WORKER_RUNNER = ExperimentRunner(
+        config,
+        calib,
+        workloads=workloads,
+        core_config=core_config,
+        cache=cache,
+    )
+
+
+def _run_unit(env, mode, chip_index, core_index):
+    """Run one (environment, mode, chip, core) unit; return record dicts."""
+    rows = _WORKER_RUNNER.run_unit(env, mode, chip_index, core_index)
+    return [row.to_dict() for row in rows]
+
+
+# ----------------------------------------------------------------------
+# Parent-side orchestration.
+# ----------------------------------------------------------------------
+def _resolve_cache(runner, spec: RunSpec) -> Optional[ExperimentCache]:
+    if not spec.use_cache:
+        return None
+    if spec.cache_dir is not None:
+        return ExperimentCache(spec.cache_dir)
+    return runner.cache
+
+
+def execute(runner, spec: RunSpec) -> RunResult:
+    """Run a campaign on a runner: cache lookups, shard, gather, store."""
+    from .runner import PhaseResult, summarise
+
+    workloads = (
+        list(spec.workloads) if spec.workloads is not None else list(runner.workloads)
+    )
+    cache = _resolve_cache(runner, spec)
+    result = RunResult(spec=spec)
+    pending: List[Tuple[Environment, AdaptationMode, Optional[str]]] = []
+    novar_memo: Dict[str, "SuiteSummary"] = {}
+
+    for env, mode in spec.pairs():
+        cell = (env.name, mode.value)
+        if cell in result.summaries:
+            continue
+        key = (
+            summary_key(
+                runner.calib, runner.config, runner.core_config, env, mode, workloads
+            )
+            if cache is not None
+            else None
+        )
+        if cache is not None:
+            hit = cache.load_summary(key)
+            if hit is not None:
+                result.summaries[cell] = hit
+                continue
+        if not env.variation:
+            # NoVar has no population dimension: compute once, serially.
+            if env.name not in novar_memo:
+                novar_memo[env.name] = runner.novar_summary(workloads)
+            result.summaries[cell] = novar_memo[env.name]
+            if cache is not None:
+                cache.save_summary(key, result.summaries[cell])
+            continue
+        pending.append((env, mode, key))
+
+    if pending:
+        if spec.parallelism > 1:
+            computed = _execute_parallel(runner, spec, pending, workloads, cache)
+        else:
+            computed = {}
+            for env, mode, _ in pending:
+                rows: List[PhaseResult] = []
+                for chip_index in range(runner.config.n_chips):
+                    for core_index in range(runner.config.cores_per_chip):
+                        rows.extend(
+                            runner.run_unit(
+                                env, mode, chip_index, core_index, workloads
+                            )
+                        )
+                computed[(env.name, mode.value)] = summarise(rows)
+        for env, mode, key in pending:
+            summary = computed[(env.name, mode.value)]
+            result.summaries[(env.name, mode.value)] = summary
+            if cache is not None:
+                cache.save_summary(key, summary)
+    return result
+
+
+def _execute_parallel(
+    runner,
+    spec: RunSpec,
+    pending: Sequence[Tuple[Environment, AdaptationMode, Optional[str]]],
+    workloads: Sequence[WorkloadProfile],
+    cache: Optional[ExperimentCache],
+) -> Dict[Tuple[str, str], "SuiteSummary"]:
+    """Shard pending cells over a process pool; reassemble in order."""
+    from .runner import PhaseResult, summarise
+
+    # Banks must reach the workers; they are far too heavy for the pipe,
+    # so they travel through the disk cache (an ephemeral one if needed).
+    ephemeral = None
+    transport = cache
+    if transport is None:
+        ephemeral = tempfile.TemporaryDirectory(prefix="eval-repro-cache-")
+        transport = ExperimentCache(ephemeral.name)
+    try:
+        for env, mode, _ in pending:
+            if mode is AdaptationMode.FUZZY_DYN:
+                runner.bank_for(env, cache=transport)
+
+        units = [
+            (env, mode, chip_index, core_index)
+            for env, mode, _ in pending
+            for chip_index in range(runner.config.n_chips)
+            for core_index in range(runner.config.cores_per_chip)
+        ]
+        # Honour the requested parallelism (the caller knows the machine);
+        # never spin up more workers than there are units to run.
+        max_workers = min(spec.parallelism, len(units))
+        unit_rows: List[Optional[List[PhaseResult]]] = [None] * len(units)
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(
+                runner.config,
+                runner.calib,
+                runner.core_config,
+                tuple(workloads),
+                str(transport.root),
+            ),
+        ) as pool:
+            futures = {
+                pool.submit(_run_unit, *unit): index
+                for index, unit in enumerate(units)
+            }
+            for future in futures:
+                records = future.result()
+                unit_rows[futures[future]] = [
+                    PhaseResult.from_dict(record) for record in records
+                ]
+
+        computed: Dict[Tuple[str, str], "SuiteSummary"] = {}
+        per_cell: Dict[Tuple[str, str], List[PhaseResult]] = {}
+        for (env, mode, _chip, _core), rows in zip(units, unit_rows):
+            per_cell.setdefault((env.name, mode.value), []).extend(rows)
+        for cell, rows in per_cell.items():
+            computed[cell] = summarise(rows)
+        return computed
+    finally:
+        if ephemeral is not None:
+            ephemeral.cleanup()

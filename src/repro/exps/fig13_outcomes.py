@@ -20,6 +20,7 @@ from ..core.environments import (
     Environment,
 )
 from ..core.retuning import Outcome
+from .engine import RunSpec
 from .runner import ExperimentRunner, RunnerConfig
 
 #: Technique-availability columns of Figure 13.
@@ -60,29 +61,36 @@ class Fig13Result:
 def run_fig13(
     runner: Optional[ExperimentRunner] = None,
     environments: Optional[List[Environment]] = None,
+    parallelism: int = 1,
 ) -> Fig13Result:
     """Run the Figure 13 outcome study under Fuzzy-Dyn."""
     runner = runner or ExperimentRunner(RunnerConfig(n_chips=8))
     environments = environments or CONTROLLER_STUDY_ENVIRONMENTS
 
+    cells = [
+        (opt_name, base_env.name, dc_replace(
+            base_env, name=f"{base_env.name}/{opt_name}", queue=queue, fu=fu
+        ))
+        for base_env in environments
+        for opt_name, queue, fu in OPT_CONFIGS
+    ]
+    # One campaign for the whole grid: the engine shards every
+    # (environment, chip, core) unit across the worker pool at once.
+    run = runner.run(RunSpec(
+        environments=tuple(env for _, _, env in cells),
+        modes=(AdaptationMode.FUZZY_DYN,),
+        parallelism=parallelism,
+    ))
+
     fractions: Dict[Tuple[str, str], Dict[str, float]] = {}
-    for base_env in environments:
-        for opt_name, queue, fu in OPT_CONFIGS:
-            env = dc_replace(
-                base_env,
-                name=f"{base_env.name}/{opt_name}",
-                queue=queue,
-                fu=fu,
-            )
-            summary = runner.run_environment(env, AdaptationMode.FUZZY_DYN)
-            outcomes = [r.outcome for r in summary.results]
-            weights = np.array([r.weight for r in summary.results])
-            weights = weights / weights.sum()
-            frac = {
-                name: float(
-                    weights[[o == name for o in outcomes]].sum()
-                )
-                for name in OUTCOME_ORDER
-            }
-            fractions[(opt_name, base_env.name)] = frac
+    for opt_name, base_name, env in cells:
+        summary = run.summary(env, AdaptationMode.FUZZY_DYN)
+        outcomes = [r.outcome for r in summary.results]
+        weights = np.array([r.weight for r in summary.results])
+        weights = weights / weights.sum()
+        frac = {
+            name: float(weights[[o == name for o in outcomes]].sum())
+            for name in OUTCOME_ORDER
+        }
+        fractions[(opt_name, base_name)] = frac
     return Fig13Result(fractions=fractions)

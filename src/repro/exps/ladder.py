@@ -17,6 +17,7 @@ from ..core.environments import (
     AdaptationMode,
     Environment,
 )
+from .engine import RunSpec
 from .runner import ExperimentRunner, RunnerConfig, SuiteSummary
 
 #: The three bars per environment in Figures 10-12.
@@ -71,6 +72,9 @@ def run_ladder(
     runner: Optional[ExperimentRunner] = None,
     environments: Optional[Sequence[Environment]] = None,
     modes: Sequence[AdaptationMode] = MODES,
+    parallelism: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
 ) -> LadderResult:
     """Run the full Figures 10-12 grid.
 
@@ -80,19 +84,38 @@ def run_ladder(
         environments: Environments to include (default: the six adaptive
             environments of Table 1).
         modes: Adaptation modes (default: all three bars).
+        parallelism: Worker processes for the Monte-Carlo grid (the
+            ``--jobs`` flag); 1 runs serially.
+        cache_dir: On-disk artifact cache (the ``--cache-dir`` flag);
+            ``None`` uses the runner's configured cache, if any.
+        use_cache: ``False`` disables the disk cache (``--no-cache``).
     """
     runner = runner or ExperimentRunner(RunnerConfig())
     environments = (
         list(environments) if environments is not None else list(ADAPTIVE_ENVIRONMENTS)
     )
+    grid = runner.run(
+        RunSpec(
+            environments=tuple(environments),
+            modes=tuple(modes),
+            parallelism=parallelism,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+        )
+    )
+    anchors = runner.run(
+        RunSpec(
+            environments=(BASELINE, NOVAR),
+            modes=(AdaptationMode.EXH_DYN,),
+            parallelism=parallelism,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+        )
+    )
     result = LadderResult(
-        baseline=runner.run_environment(BASELINE, AdaptationMode.EXH_DYN),
-        novar=runner.run_environment(NOVAR),
+        baseline=anchors.summary(BASELINE, AdaptationMode.EXH_DYN),
+        novar=anchors.summary(NOVAR, AdaptationMode.EXH_DYN),
         environments=environments,
     )
-    for env in environments:
-        for mode in modes:
-            result.entries[(env.name, mode.value)] = runner.run_environment(
-                env, mode
-            )
+    result.entries.update(grid.summaries)
     return result

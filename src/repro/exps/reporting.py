@@ -26,6 +26,40 @@ def format_table(
     return "\n".join(lines)
 
 
+#: Columns of :func:`results_table`, in display order.  These are keys of
+#: the :meth:`repro.exps.runner.PhaseResult.to_dict` wire format — the
+#: same records the engine workers return and the summary cache stores.
+RESULT_COLUMNS = (
+    "chip_id", "core_index", "workload", "phase", "environment", "mode",
+    "f_rel", "perf_rel", "power", "outcome",
+)
+
+_RESULT_FORMATS = {"f_rel": "{:.3f}", "perf_rel": "{:.3f}", "power": "{:.1f}"}
+
+
+def results_table(summary, title: str = "phase results",
+                  max_rows: int = 24) -> str:
+    """Render a :class:`~repro.exps.runner.SuiteSummary`'s observations.
+
+    Rows come straight from the :meth:`PhaseResult.to_dict` records, so
+    what is printed is exactly what crosses process boundaries and what
+    the cache persists.  Long runs are truncated with an ellipsis row.
+    """
+    records = [r.to_dict() for r in summary.results]
+    rows = [
+        [
+            _RESULT_FORMATS.get(col, "{}").format(record[col])
+            for col in RESULT_COLUMNS
+        ]
+        for record in records[:max_rows]
+    ]
+    if len(records) > max_rows:
+        rows.append(["..."] * len(RESULT_COLUMNS))
+    header = (f"{title}  (f_rel {summary.f_rel:.3f}, "
+              f"perf_rel {summary.perf_rel:.3f}, power {summary.power:.1f} W)")
+    return format_table(header, list(RESULT_COLUMNS), rows)
+
+
 def format_series(title: str, xs, ys, x_name: str = "x", y_name: str = "y",
                   max_points: int = 12) -> str:
     """Render an (x, y) series, subsampled for readability."""

@@ -6,14 +6,24 @@ a population of chips with independently drawn variation maps, for every
 workload, then averaged — mirroring the paper's "each application is run
 on each of the 4 cores of each of 100 chips" and Figure 10-12 reporting.
 
+The single entry point is :meth:`ExperimentRunner.run`, which takes a
+:class:`~repro.exps.engine.RunSpec` describing the (environment, mode)
+grid, the parallelism, and the on-disk artifact cache, and returns a
+:class:`~repro.exps.engine.RunResult` of :class:`SuiteSummary` cells.
+``run_environment`` / ``baseline_summary`` remain as deprecated shims.
+
 Scale knobs: the paper uses 100 chips x 4 cores.  That is available
 (``RunnerConfig(n_chips=100, cores_per_chip=4)``), but the default is a
 smaller population that reproduces the same means within the Monte-Carlo
 noise (the paper itself notes more than 100 samples changes nothing).
+Paper-scale runs are sharded across worker processes with
+``RunSpec(parallelism=N)``; see :mod:`repro.exps.engine`.
 """
 
 from __future__ import annotations
 
+import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,12 +46,17 @@ from ..core.environments import (
 from ..core.state import Configuration, evaluate_configuration
 from ..core.adaptation import perf_params_from_measurement
 from ..microarch.pipeline import DEFAULT_CORE_CONFIG, CoreConfig
-from ..microarch.simulator import WorkloadMeasurement, measure_workload
+from ..microarch.simulator import (
+    WorkloadMeasurement,
+    _profile_key,
+    measure_workload,
+)
 from ..microarch.workloads import WorkloadProfile, spec2000_like_suite
 from ..mitigation.base import TechniqueState
 from ..ml.bank import ControllerBank, get_bank
 from ..timing.speculation import performance
 from ..variation.population import VariationModel
+from .cache import ExperimentCache, bank_key, measurement_key
 
 
 @dataclass(frozen=True)
@@ -62,7 +77,13 @@ class RunnerConfig:
 
 @dataclass(frozen=True)
 class PhaseResult:
-    """One (chip, core, workload, phase) observation."""
+    """One (chip, core, workload, phase) observation.
+
+    This is the wire format shared by the engine workers, the on-disk
+    summary cache, and :mod:`repro.exps.reporting`: :meth:`to_dict`
+    produces a flat JSON-safe record and :meth:`from_dict` reverses it
+    exactly (all floats round-trip bit-identically through ``repr``).
+    """
 
     chip_id: int
     core_index: int
@@ -78,6 +99,29 @@ class PhaseResult:
     queue_full: bool
     lowslope: bool
 
+    def to_dict(self) -> Dict:
+        """Flat JSON-safe record of this observation."""
+        return {
+            "chip_id": self.chip_id,
+            "core_index": self.core_index,
+            "workload": self.workload,
+            "phase": self.phase,
+            "weight": self.weight,
+            "environment": self.environment,
+            "mode": self.mode,
+            "f_rel": self.f_rel,
+            "perf_rel": self.perf_rel,
+            "power": self.power,
+            "outcome": self.outcome,
+            "queue_full": self.queue_full,
+            "lowslope": self.lowslope,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict) -> "PhaseResult":
+        """Rebuild an observation from :meth:`to_dict` output."""
+        return cls(**record)
+
 
 @dataclass
 class SuiteSummary:
@@ -87,6 +131,28 @@ class SuiteSummary:
     perf_rel: float
     power: float
     results: List[PhaseResult] = field(repr=False, default_factory=list)
+
+    def to_json(self) -> str:
+        """Serialise to the shared wire format (see :class:`PhaseResult`)."""
+        return json.dumps({
+            "f_rel": self.f_rel,
+            "perf_rel": self.perf_rel,
+            "power": self.power,
+            "results": [r.to_dict() for r in self.results],
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "SuiteSummary":
+        """Rebuild a summary from :meth:`to_json` output."""
+        document = json.loads(text)
+        return cls(
+            f_rel=document["f_rel"],
+            perf_rel=document["perf_rel"],
+            power=document["power"],
+            results=[
+                PhaseResult.from_dict(record) for record in document["results"]
+            ],
+        )
 
 
 class ExperimentRunner:
@@ -98,17 +164,23 @@ class ExperimentRunner:
         calib: Calibration = DEFAULT_CALIBRATION,
         workloads: Optional[Sequence[WorkloadProfile]] = None,
         core_config: CoreConfig = DEFAULT_CORE_CONFIG,
+        *,
+        cache: Optional[ExperimentCache] = None,
     ):
         self.config = config
         self.calib = calib
         self.workloads = list(workloads) if workloads is not None else spec2000_like_suite()
         self.core_config = core_config
+        self.cache = cache
         self._population = VariationModel().population(
             config.n_chips, seed=config.seed
         )
         self._cores: Dict[Tuple[int, int], Core] = {}
         self._novar = build_novar_core(calib=calib)
-        self._banks: Dict[Tuple, ControllerBank] = {}
+        self._banks: Dict[str, ControllerBank] = {}
+        self._measurements: Dict[
+            Tuple, Tuple[WorkloadMeasurement, Optional[WorkloadMeasurement]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Cached building blocks.
@@ -136,31 +208,84 @@ class ExperimentRunner:
     def measurements(
         self, profile: WorkloadProfile, env: Environment
     ) -> Tuple[WorkloadMeasurement, Optional[WorkloadMeasurement]]:
-        """Measure a phase profile under an environment's pipeline configs."""
+        """Measure a phase profile under an environment's pipeline configs.
+
+        Memoised on the (profile fingerprint, environment knob) pair, so
+        repeated callers — the main loop and the Static-mode aggregation —
+        share one measurement instead of re-entering the simulator path.
+        """
+        memo_key = (_profile_key(profile), env.fu, env.queue)
+        cached = self._measurements.get(memo_key)
+        if cached is not None:
+            return cached
         technique = TechniqueState(domain=profile.domain)
         base = technique.core_config(self.core_config, replication_built=env.fu)
-        full = measure_workload(
-            profile, base, self.config.n_instructions, self.config.seed
-        )
+        full = self._measure(profile, base)
         resized = None
         if env.queue:
-            resized_cfg = base.with_resized_queue(profile.domain)
-            resized = measure_workload(
-                profile, resized_cfg, self.config.n_instructions, self.config.seed
-            )
+            resized = self._measure(profile, base.with_resized_queue(profile.domain))
+        self._measurements[memo_key] = (full, resized)
         return full, resized
 
-    def bank_for(self, env: Environment) -> ControllerBank:
-        """Return (training once) the fuzzy-controller bank for an env."""
-        spec = env.optimization_spec(self._novar.n_subsystems, self.calib)
-        template = self.core(0, 0)
-        return get_bank(
-            template,
-            spec,
-            n_examples=self.config.fuzzy_examples,
-            epochs=self.config.fuzzy_epochs,
-            seed=self.config.seed,
+    def _measure(
+        self, profile: WorkloadProfile, config: CoreConfig
+    ) -> WorkloadMeasurement:
+        """One measurement, through the disk cache when configured."""
+        key = None
+        if self.cache is not None:
+            key = measurement_key(
+                self.calib,
+                profile,
+                config,
+                self.config.n_instructions,
+                self.config.seed,
+            )
+            hit = self.cache.load_measurement(key)
+            if hit is not None:
+                return hit
+        meas = measure_workload(
+            profile, config, self.config.n_instructions, self.config.seed
         )
+        if self.cache is not None:
+            self.cache.save_measurement(key, meas)
+        return meas
+
+    def bank_for(
+        self, env: Environment, cache: Optional[ExperimentCache] = None
+    ) -> ControllerBank:
+        """Return (training once) the fuzzy-controller bank for an env.
+
+        Banks are memoised in-process and, when a cache is configured (or
+        passed explicitly by the engine), persisted through the
+        :mod:`repro.ml.persistence` ``.npz`` round trip so the expensive
+        manufacturer-site training is reused across sessions and workers.
+        """
+        cache = cache if cache is not None else self.cache
+        spec = env.optimization_spec(self._novar.n_subsystems, self.calib)
+        key = bank_key(
+            self.calib,
+            spec,
+            self.config.fuzzy_examples,
+            self.config.fuzzy_epochs,
+            self.config.seed,
+        )
+        bank = self._banks.get(key)
+        if bank is not None:
+            return bank
+        if cache is not None:
+            bank = cache.load_bank(key)
+        if bank is None:
+            bank = get_bank(
+                self.core(0, 0),
+                spec,
+                n_examples=self.config.fuzzy_examples,
+                epochs=self.config.fuzzy_epochs,
+                seed=self.config.seed,
+            )
+            if cache is not None:
+                cache.save_bank(key, bank)
+        self._banks[key] = bank
+        return bank
 
     # ------------------------------------------------------------------
     # Reference points.
@@ -185,51 +310,73 @@ class ExperimentRunner:
         return state.total_power
 
     # ------------------------------------------------------------------
-    # Main entry points.
+    # Main entry point.
     # ------------------------------------------------------------------
-    def run_environment(
+    def run(self, spec: "RunSpec") -> "RunResult":
+        """Run a whole campaign (see :class:`repro.exps.engine.RunSpec`).
+
+        Subsumes the old per-environment entry points: the grid of
+        (environment, mode) cells is optionally sharded over worker
+        processes (``spec.parallelism``) and served from / stored into the
+        content-addressed disk cache (``spec.cache_dir`` or the runner's
+        own).  A parallel run returns results bit-identical to the serial
+        run at the same seed.
+        """
+        from .engine import execute
+
+        return execute(self, spec)
+
+    def run_unit(
         self,
         env: Environment,
-        mode: AdaptationMode = AdaptationMode.EXH_DYN,
+        mode: AdaptationMode,
+        chip_index: int,
+        core_index: int,
         workloads: Optional[Sequence[WorkloadProfile]] = None,
-    ) -> SuiteSummary:
-        """Run one environment/mode over the population and suite."""
-        if not env.variation:
-            return self._run_novar(workloads)
+        bank: Optional[ControllerBank] = None,
+    ) -> List[PhaseResult]:
+        """Run one (environment, mode, chip, core) unit of work.
+
+        This is the engine's shard: both the serial loop and the pool
+        workers call exactly this function, which is what makes parallel
+        runs bit-identical to serial ones.
+        """
         workloads = list(workloads) if workloads is not None else self.workloads
-        bank = self.bank_for(env) if mode is AdaptationMode.FUZZY_DYN else None
-
+        core = self.core(chip_index, core_index)
+        if mode is AdaptationMode.FUZZY_DYN and bank is None:
+            bank = self.bank_for(env)
+        static_config = (
+            self._static_configuration(core, env, workloads)
+            if mode is AdaptationMode.STATIC
+            else None
+        )
         results: List[PhaseResult] = []
-        for core in self.cores():
-            static_config = (
-                self._static_configuration(core, env, workloads)
-                if mode is AdaptationMode.STATIC
-                else None
-            )
-            for workload in workloads:
-                for profile, weight in self.phase_profiles(workload):
-                    meas_full, meas_resized = self.measurements(profile, env)
-                    if mode is AdaptationMode.STATIC:
-                        result = evaluate_at_fixed_config(
-                            core, env, static_config, meas_full
-                        )
-                    else:
-                        result = optimize_phase(
-                            core,
-                            env,
-                            meas_full,
-                            meas_resized,
-                            mode=mode,
-                            bank=bank,
-                        )
-                    results.append(
-                        self._to_phase_result(
-                            core, env, mode, workload, profile, weight, result
-                        )
+        for workload in workloads:
+            for profile, weight in self.phase_profiles(workload):
+                meas_full, meas_resized = self.measurements(profile, env)
+                if mode is AdaptationMode.STATIC:
+                    result = evaluate_at_fixed_config(
+                        core, env, static_config, meas_full
                     )
-        return _summarise(results)
+                else:
+                    result = optimize_phase(
+                        core,
+                        env,
+                        meas_full,
+                        meas_resized,
+                        mode=mode,
+                        bank=bank,
+                    )
+                results.append(
+                    self._to_phase_result(
+                        core, env, mode, workload, profile, weight, result
+                    )
+                )
+        return results
 
-    def _run_novar(self, workloads=None) -> SuiteSummary:
+    def novar_summary(
+        self, workloads: Optional[Sequence[WorkloadProfile]] = None
+    ) -> SuiteSummary:
         """The NoVar reference environment (per-phase perf_rel is 1)."""
         workloads = list(workloads) if workloads is not None else self.workloads
         results = []
@@ -253,8 +400,59 @@ class ExperimentRunner:
                         lowslope=False,
                     )
                 )
-        return _summarise(results)
+        return summarise(results)
 
+    # ------------------------------------------------------------------
+    # Deprecated shims (pre-engine API).
+    # ------------------------------------------------------------------
+    def run_environment(
+        self,
+        env: Environment,
+        mode: AdaptationMode = AdaptationMode.EXH_DYN,
+        workloads: Optional[Sequence[WorkloadProfile]] = None,
+    ) -> SuiteSummary:
+        """Deprecated: use :meth:`run` with a :class:`RunSpec`."""
+        warnings.warn(
+            "ExperimentRunner.run_environment() is deprecated; use "
+            "ExperimentRunner.run(RunSpec(environments=..., modes=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .engine import RunSpec
+
+        spec = RunSpec(
+            environments=(env,),
+            modes=(mode,),
+            workloads=tuple(workloads) if workloads is not None else None,
+        )
+        return self.run(spec).summary(env, mode)
+
+    def baseline_summary(self) -> SuiteSummary:
+        """Deprecated: use :meth:`run` with a :class:`RunSpec`."""
+        warnings.warn(
+            "ExperimentRunner.baseline_summary() is deprecated; use "
+            "ExperimentRunner.run(RunSpec(environments=(BASELINE,)))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .engine import RunSpec
+
+        spec = RunSpec(environments=(BASELINE,), modes=(AdaptationMode.EXH_DYN,))
+        return self.run(spec).summary(BASELINE, AdaptationMode.EXH_DYN)
+
+    def _run_novar(self, workloads=None) -> SuiteSummary:
+        """Deprecated: use :meth:`novar_summary`."""
+        warnings.warn(
+            "ExperimentRunner._run_novar() is deprecated; use "
+            "ExperimentRunner.novar_summary()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.novar_summary(workloads)
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
     def _static_configuration(
         self,
         core: Core,
@@ -304,12 +502,9 @@ class ExperimentRunner:
             lowslope=result.config.technique.lowslope,
         )
 
-    def baseline_summary(self) -> SuiteSummary:
-        """Convenience: the Baseline environment (no checker, Static)."""
-        return self.run_environment(BASELINE, AdaptationMode.EXH_DYN)
 
-
-def _summarise(results: List[PhaseResult]) -> SuiteSummary:
+def summarise(results: List[PhaseResult]) -> SuiteSummary:
+    """Phase-weighted means over a list of observations."""
     weights = np.array([r.weight for r in results])
     weights = weights / weights.sum()
     return SuiteSummary(
@@ -318,3 +513,7 @@ def _summarise(results: List[PhaseResult]) -> SuiteSummary:
         power=float(np.dot(weights, [r.power for r in results])),
         results=results,
     )
+
+
+#: Backwards-compatible alias (pre-engine name).
+_summarise = summarise

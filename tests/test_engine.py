@@ -1,0 +1,254 @@
+"""The parallel experiment engine, its cache, and the run() API redesign."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.core import BASELINE, NOVAR, TS, TS_ASV, AdaptationMode
+from repro.exps import ExperimentRunner, RunnerConfig, RunSpec
+from repro.exps.cache import (
+    ExperimentCache,
+    bank_key,
+    measurement_key,
+    stable_hash,
+    summary_key,
+)
+from repro.microarch import DEFAULT_CORE_CONFIG, spec2000_like_suite
+
+#: Small but multi-chip scale: enough to exercise sharding boundaries.
+ENGINE_CONFIG = RunnerConfig(
+    n_chips=2,
+    cores_per_chip=1,
+    n_instructions=3000,
+    fuzzy_examples=300,
+    fuzzy_epochs=1,
+)
+
+
+@pytest.fixture(scope="module")
+def two_workloads():
+    return tuple(spec2000_like_suite()[:2])
+
+
+class TestRunAPI:
+    def test_run_matches_legacy_entry_point(self, two_workloads):
+        runner = ExperimentRunner(ENGINE_CONFIG)
+        summary = runner.run(
+            RunSpec(environments=(TS,), workloads=two_workloads)
+        ).summary(TS)
+        with pytest.deprecated_call():
+            legacy = runner.run_environment(TS, workloads=two_workloads)
+        assert legacy.results == summary.results
+
+    def test_novar_under_any_mode(self):
+        runner = ExperimentRunner(ENGINE_CONFIG)
+        result = runner.run(RunSpec(
+            environments=(NOVAR,),
+            modes=(AdaptationMode.STATIC, AdaptationMode.EXH_DYN),
+        ))
+        static = result.summary(NOVAR, AdaptationMode.STATIC)
+        dyn = result.summary(NOVAR, AdaptationMode.EXH_DYN)
+        assert static.f_rel == pytest.approx(1.0)
+        assert static.results == dyn.results
+
+    def test_single_mode_lookup_needs_no_mode(self, two_workloads):
+        runner = ExperimentRunner(ENGINE_CONFIG)
+        result = runner.run(RunSpec(environments=(TS,), workloads=two_workloads))
+        assert result.summary(TS) is result.summary("TS", "Exh-Dyn")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            RunSpec(environments=())
+        with pytest.raises(ValueError):
+            RunSpec(environments=(TS,), parallelism=0)
+
+    def test_deprecated_shims_warn(self):
+        runner = ExperimentRunner(ENGINE_CONFIG)
+        with pytest.deprecated_call():
+            runner._run_novar()
+        with pytest.deprecated_call():
+            runner.run_environment(NOVAR)
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_exactly(self, two_workloads):
+        """RunSpec(parallelism=N) is bit-identical to the serial run."""
+        spec = RunSpec(
+            environments=(TS,),
+            modes=(AdaptationMode.EXH_DYN,),
+            workloads=two_workloads,
+        )
+        serial = ExperimentRunner(ENGINE_CONFIG).run(spec).summary(TS)
+        parallel = (
+            ExperimentRunner(ENGINE_CONFIG)
+            .run(RunSpec(
+                environments=(TS,),
+                modes=(AdaptationMode.EXH_DYN,),
+                workloads=two_workloads,
+                parallelism=2,
+            ))
+            .summary(TS)
+        )
+        assert serial.results == parallel.results  # frozen-dataclass equality
+        assert serial.f_rel == parallel.f_rel
+        assert serial.perf_rel == parallel.perf_rel
+        assert serial.power == parallel.power
+
+    def test_parallel_fuzzy_matches_serial(self, two_workloads):
+        """Banks shipped to workers via the npz cache change nothing."""
+        spec_args = dict(
+            environments=(TS_ASV,),
+            modes=(AdaptationMode.FUZZY_DYN,),
+            workloads=two_workloads,
+        )
+        serial = ExperimentRunner(ENGINE_CONFIG).run(
+            RunSpec(**spec_args)
+        ).summary(TS_ASV)
+        parallel = ExperimentRunner(ENGINE_CONFIG).run(
+            RunSpec(parallelism=2, **spec_args)
+        ).summary(TS_ASV)
+        assert serial.results == parallel.results
+
+
+class TestCache:
+    def test_summary_cache_hit_and_miss(self, tmp_path, two_workloads):
+        spec = RunSpec(
+            environments=(TS,),
+            workloads=two_workloads,
+            cache_dir=str(tmp_path),
+        )
+        cold_runner = ExperimentRunner(ENGINE_CONFIG)
+        cold = cold_runner.run(spec).summary(TS)
+        warm_runner = ExperimentRunner(ENGINE_CONFIG, cache=ExperimentCache(tmp_path))
+        warm = warm_runner.run(RunSpec(environments=(TS,), workloads=two_workloads))
+        assert warm_runner.cache.stats.hits["summary"] == 1
+        assert warm_runner.cache.stats.misses["summary"] == 0
+        assert warm.summary(TS).results == cold.results
+
+    def test_no_cache_flag_bypasses_disk(self, tmp_path, two_workloads):
+        cache = ExperimentCache(tmp_path)
+        runner = ExperimentRunner(ENGINE_CONFIG, cache=cache)
+        runner.run(RunSpec(environments=(TS,), workloads=two_workloads,
+                           use_cache=False))
+        assert not list((tmp_path / "summaries").iterdir())
+
+    def test_calibration_change_invalidates(self, tmp_path, two_workloads):
+        """A recalibrated constant must miss every cache key."""
+        recalibrated = Calibration(systematic_delay_gain=3.1)
+        spec = RunSpec(environments=(TS,), workloads=two_workloads,
+                       cache_dir=str(tmp_path))
+        ExperimentRunner(ENGINE_CONFIG).run(spec)
+        runner = ExperimentRunner(ENGINE_CONFIG, calib=recalibrated,
+                                  cache=ExperimentCache(tmp_path))
+        runner.run(RunSpec(environments=(TS,), workloads=two_workloads))
+        assert runner.cache.stats.hits["summary"] == 0
+        assert runner.cache.stats.misses["summary"] == 1
+
+    def test_key_functions_are_sensitive(self, two_workloads):
+        profile = two_workloads[0]
+        base = measurement_key(DEFAULT_CALIBRATION, profile,
+                               DEFAULT_CORE_CONFIG, 3000, 7)
+        assert base == measurement_key(DEFAULT_CALIBRATION, profile,
+                                       DEFAULT_CORE_CONFIG, 3000, 7)
+        assert base != measurement_key(DEFAULT_CALIBRATION, profile,
+                                       DEFAULT_CORE_CONFIG, 3000, 8)
+        assert base != measurement_key(Calibration(z_free=6.0), profile,
+                                       DEFAULT_CORE_CONFIG, 3000, 7)
+        env_a = summary_key(DEFAULT_CALIBRATION, ENGINE_CONFIG,
+                            DEFAULT_CORE_CONFIG, TS,
+                            AdaptationMode.EXH_DYN, two_workloads)
+        env_b = summary_key(DEFAULT_CALIBRATION, ENGINE_CONFIG,
+                            DEFAULT_CORE_CONFIG, TS_ASV,
+                            AdaptationMode.EXH_DYN, two_workloads)
+        assert env_a != env_b
+
+    def test_stable_hash_ignores_container_type(self):
+        assert stable_hash([1, 2]) == stable_hash((1, 2))
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_measurement_roundtrip(self, tmp_path, int_measurement):
+        cache = ExperimentCache(tmp_path)
+        cache.save_measurement("k", int_measurement)
+        loaded = cache.load_measurement("k")
+        assert loaded.cpi_comp == int_measurement.cpi_comp
+        assert loaded.overlap_factor == int_measurement.overlap_factor
+        assert np.array_equal(loaded.activity, int_measurement.activity)
+        assert np.array_equal(loaded.rho, int_measurement.rho)
+        assert cache.load_measurement("absent") is None
+
+    def test_bank_roundtrip_through_cache(self, tmp_path, tiny_bank):
+        """ControllerBank persistence through the engine's cache path."""
+        cache = ExperimentCache(tmp_path)
+        cache.save_bank("k", tiny_bank)
+        loaded = cache.load_bank("k")
+        assert set(loaded.freq_fcs) == set(tiny_bank.freq_fcs)
+        for key, fc in tiny_bank.freq_fcs.items():
+            assert np.array_equal(loaded.freq_fcs[key].mu, fc.mu)
+            assert np.array_equal(loaded.freq_fcs[key].y, fc.y)
+        assert loaded.freq_rmse == tiny_bank.freq_rmse
+        assert loaded.optimism == tiny_bank.optimism
+        assert np.array_equal(loaded.spec.vdd_levels, tiny_bank.spec.vdd_levels)
+        assert cache.load_bank("absent") is None
+
+    def test_bank_key_tracks_training_knobs(self, asv_spec):
+        base = bank_key(DEFAULT_CALIBRATION, asv_spec, 300, 1, 7)
+        assert base == bank_key(DEFAULT_CALIBRATION, asv_spec, 300, 1, 7)
+        assert base != bank_key(DEFAULT_CALIBRATION, asv_spec, 600, 1, 7)
+        assert base != bank_key(Calibration(z_free=6.0), asv_spec, 300, 1, 7)
+
+
+class TestWireFormat:
+    def test_suite_summary_json_roundtrip(self, two_workloads):
+        runner = ExperimentRunner(ENGINE_CONFIG)
+        summary = runner.run(
+            RunSpec(environments=(TS,), workloads=two_workloads)
+        ).summary(TS)
+        restored = type(summary).from_json(summary.to_json())
+        assert restored.f_rel == summary.f_rel
+        assert restored.perf_rel == summary.perf_rel
+        assert restored.power == summary.power
+        assert restored.results == summary.results  # floats bit-identical
+
+    def test_phase_result_record_roundtrip(self, two_workloads):
+        runner = ExperimentRunner(ENGINE_CONFIG)
+        row = runner.run(
+            RunSpec(environments=(TS,), workloads=two_workloads)
+        ).summary(TS).results[0]
+        assert type(row).from_dict(row.to_dict()) == row
+
+    def test_results_table_renders_records(self, two_workloads):
+        from repro.exps import results_table
+
+        runner = ExperimentRunner(ENGINE_CONFIG)
+        summary = runner.run(
+            RunSpec(environments=(TS,), workloads=two_workloads)
+        ).summary(TS)
+        text = results_table(summary, max_rows=2)
+        assert "workload" in text and "f_rel" in text
+        assert "..." in text  # truncated
+
+
+class TestStaticMemoisation:
+    def test_measurements_memoised_per_env_knobs(self, two_workloads):
+        """Static mode must not re-enter the simulator path (satellite fix)."""
+        import repro.exps.runner as runner_mod
+
+        runner = ExperimentRunner(ENGINE_CONFIG, workloads=two_workloads)
+        calls = []
+        original = runner_mod.measure_workload
+
+        def counting(*args, **kwargs):
+            calls.append(args[0].name)
+            return original(*args, **kwargs)
+
+        runner_mod.measure_workload = counting
+        try:
+            runner.run(RunSpec(environments=(TS,),
+                               modes=(AdaptationMode.STATIC,),
+                               workloads=two_workloads, use_cache=False))
+            n_phase_profiles = sum(len(w.phases) for w in two_workloads)
+            # One simulator entry per phase profile, despite the Static
+            # aggregation pass also needing every measurement per core.
+            assert len(calls) == n_phase_profiles
+        finally:
+            runner_mod.measure_workload = original
