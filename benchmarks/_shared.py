@@ -1,9 +1,11 @@
 """Shared state for the benchmark harness.
 
 The Figures 10-12 benchmarks share one ladder computation; fuzzy banks and
-measurements are cached inside the shared runner.  Scale is controlled by
-``EVAL_REPRO_CHIPS`` (default 8 chips x 1 core; the paper uses 100 x 4 —
-set ``EVAL_REPRO_CHIPS=100 EVAL_REPRO_CORES=4`` to match it exactly).
+measurements are cached inside the shared runner.  All knobs come from the
+``EVAL_REPRO_*`` environment variables through
+:meth:`repro.config.Settings.from_env` (default 8 chips x 1 core; the
+paper uses 100 x 4 — set ``EVAL_REPRO_CHIPS=100 EVAL_REPRO_CORES=4`` to
+match it exactly).
 
 Engine knobs: ``EVAL_REPRO_JOBS=N`` shards the Monte-Carlo population
 across N worker processes (bit-identical results), and
@@ -14,43 +16,48 @@ e.g. ``bench_fig10`` skips the Monte-Carlo work entirely.
 
 from __future__ import annotations
 
-import os
 from functools import lru_cache
 
-from repro.exps.cache import ExperimentCache
+from repro.config import Settings
 from repro.exps.ladder import run_ladder
 from repro.exps.runner import ExperimentRunner, RunnerConfig
 
+#: Benchmark-harness defaults: a smaller population than the CLI's.
+BENCH_DEFAULTS = Settings(chips=8, cores=1)
+
+
+@lru_cache(maxsize=1)
+def settings() -> Settings:
+    return Settings.from_env(defaults=BENCH_DEFAULTS)
+
 
 def scale() -> "tuple[int, int]":
-    chips = int(os.environ.get("EVAL_REPRO_CHIPS", "8"))
-    cores = int(os.environ.get("EVAL_REPRO_CORES", "1"))
-    return chips, cores
+    cfg = settings()
+    return cfg.chips, cfg.cores
 
 
 def jobs() -> int:
-    return int(os.environ.get("EVAL_REPRO_JOBS", "1"))
+    return settings().jobs
 
 
 def cache_dir() -> "str | None":
-    return os.environ.get("EVAL_REPRO_CACHE") or None
+    return settings().effective_cache_dir
 
 
 @lru_cache(maxsize=1)
 def shared_runner() -> ExperimentRunner:
-    chips, cores = scale()
-    root = cache_dir()
+    cfg = settings()
     return ExperimentRunner(
         RunnerConfig(
-            n_chips=chips,
-            cores_per_chip=cores,
-            fuzzy_examples=int(os.environ.get("EVAL_REPRO_FC_EXAMPLES", "4000")),
+            n_chips=cfg.chips,
+            cores_per_chip=cfg.cores,
+            fuzzy_examples=cfg.fc_examples,
             fuzzy_epochs=2,
         ),
-        cache=ExperimentCache(root) if root else None,
+        cache=cfg.build_cache(),
     )
 
 
 @lru_cache(maxsize=1)
 def shared_ladder():
-    return run_ladder(shared_runner(), parallelism=jobs())
+    return run_ladder(shared_runner(), settings=settings())

@@ -2,7 +2,7 @@
 
 from _shared import shared_runner
 
-from repro.exps import OPT_CONFIGS, format_table, run_fig13
+from repro.exps import format_table, run_fig13
 from repro.exps.fig13_outcomes import OUTCOME_ORDER
 
 

@@ -16,6 +16,8 @@ Layer map (see DESIGN.md for the full inventory):
 * :mod:`repro.core` — environments, Freq/Power optimisation,
   high-dimensional dynamic adaptation, retuning, the runtime timeline.
 * :mod:`repro.exps` — one experiment module per paper table/figure.
+* :mod:`repro.obs` — metrics registry, span timers, JSONL event sink.
+* :mod:`repro.config` — the :class:`Settings` runtime-knob bundle.
 
 Quickstart::
 
@@ -23,9 +25,20 @@ Quickstart::
 
     result = quick_adapt()          # one chip, one workload, full EVAL
     print(result.f_core / 4e9)      # relative frequency, ~1.1-1.2
+
+Observability::
+
+    from repro import Settings, metrics_registry, span
+
+    Settings.from_env().configure()        # logging per $EVAL_REPRO_*
+    with span("my.block"):
+        ...
+    print(metrics_registry().to_dict())
 """
 
+from . import obs
 from .calibration import DEFAULT_CALIBRATION, Calibration
+from .config import Settings
 from .chip import build_chip_cores, build_core, build_novar_core, default_floorplan
 from .core import (
     ADAPTIVE_ENVIRONMENTS,
@@ -43,9 +56,16 @@ from .exps.engine import RunResult, RunSpec
 from .exps.runner import ExperimentRunner, RunnerConfig
 from .microarch import measure_workload, spec2000_like_suite
 from .mitigation import TechniqueState, area_budget
+from .obs import (
+    EventSink,
+    MetricsRegistry,
+    configure_logging,
+    metrics_registry,
+    span,
+)
 from .variation import VariationModel
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ADAPTIVE_ENVIRONMENTS",
@@ -55,11 +75,14 @@ __all__ = [
     "Calibration",
     "DEFAULT_CALIBRATION",
     "Environment",
+    "EventSink",
     "ExperimentRunner",
+    "MetricsRegistry",
     "NOVAR",
     "RunResult",
     "RunSpec",
     "RunnerConfig",
+    "Settings",
     "TS",
     "TS_ASV",
     "TS_ASV_Q_FU",
@@ -69,10 +92,14 @@ __all__ = [
     "build_chip_cores",
     "build_core",
     "build_novar_core",
+    "configure_logging",
     "default_floorplan",
     "measure_workload",
+    "metrics_registry",
+    "obs",
     "optimize_phase",
     "quick_adapt",
+    "span",
     "spec2000_like_suite",
 ]
 

@@ -27,6 +27,7 @@ from typing import Optional
 import numpy as np
 from scipy.special import ndtri
 
+from .. import obs
 from ..calibration import DEFAULT_CALIBRATION, Calibration
 from ..circuits.delay import DEFAULT_DELAY_PARAMS, DelayParams, gate_delay
 from ..circuits.knobs import (
@@ -262,9 +263,12 @@ def freq_algorithm(
         spec.knob_ranges.f_min,
     )
     temp = np.full_like(f, spec.t_heatsink + 5.0)
+    obs.inc("optimizer.freq_calls")
+    obs.inc("optimizer.candidates", float(f.size))
     # Joint fixed point over (f, T): alternate the PE-budget frequency,
     # the thermal cap, and the temperature solution.
-    for _ in range(30):
+    iterations = 30
+    for iteration in range(30):
         period = subsystems.budget_period_rel(vdd, vbb, temp, z) * t_cycle
         f_pe = 1.0 / period
         # Thermal cap: T(f) <= TMAX with leakage evaluated at TMAX.
@@ -283,10 +287,13 @@ def freq_algorithm(
         )
         if np.allclose(f_new, f, rtol=1e-6):
             f = f_new
+            iterations = iteration + 1
             break
         f = f_new
+    obs.observe("optimizer.freq_iterations", iterations)
 
     feasible_grid = temp <= spec.t_max + 0.05
+    obs.inc("optimizer.constraint_rejections", float((~feasible_grid).sum()))
     f_grid = np.where(feasible_grid, f, -np.inf)
     flat = f_grid.reshape(-1, len(subsystems))
     best = np.argmax(flat, axis=0)
@@ -352,6 +359,9 @@ def power_algorithm(
     period_needed = 1.0 / f_core
     period_have = subsystems.budget_period_rel(vdd, vbb, temp, z) * t_cycle
     ok = (temp <= spec.t_max + 0.05) & (period_have <= period_needed * (1 + 1e-9))
+    obs.inc("optimizer.power_calls")
+    obs.inc("optimizer.candidates", float(ok.size))
+    obs.inc("optimizer.constraint_rejections", float((~ok).sum()))
 
     total = p_dyn + p_sta
     cost = np.where(ok, total, np.inf)

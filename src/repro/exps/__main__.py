@@ -12,20 +12,23 @@ one invocation reuses it.  ``--jobs N`` shards the Monte-Carlo population
 across N worker processes (results are bit-identical to ``--jobs 1``);
 ``--cache-dir`` persists measurements, trained fuzzy banks, and suite
 summaries across invocations; ``--no-cache`` disables the disk cache.
-The ``EVAL_REPRO_JOBS`` and ``EVAL_REPRO_CACHE`` environment variables
-provide the defaults for ``--jobs`` and ``--cache-dir``.
+``--log-level/--log-json`` control the ``repro`` logger and
+``--metrics-out PATH`` writes the merged fleet-wide metrics registry as
+JSON at exit.  Every flag's default comes from the corresponding
+``EVAL_REPRO_*`` environment variable (see :mod:`repro.config`).
 """
 
 from __future__ import annotations
 
 import argparse
-import os
+import json
 import sys
 
 import numpy as np
 
+from .. import obs
+from ..config import Settings
 from .area_table import area_rows, run_area_table
-from .cache import ExperimentCache
 from .fig1_paths import run_fig1
 from .fig2_taxonomy import run_fig2
 from .fig8_tradeoff import run_fig8
@@ -58,37 +61,25 @@ def _print_ladder(result, target: str) -> None:
 
 
 def main(argv=None) -> int:
+    env_defaults = Settings.from_env()
     parser = argparse.ArgumentParser(
         prog="python -m repro.exps",
         description="Regenerate EVAL paper figures/tables.",
     )
     parser.add_argument("targets", nargs="+", choices=ALL_TARGETS + ["all"])
-    parser.add_argument("--chips", type=int, default=12)
-    parser.add_argument("--cores", type=int, default=1)
-    parser.add_argument("--fc-examples", type=int, default=4000)
-    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--chips", type=int, default=env_defaults.chips)
+    parser.add_argument("--cores", type=int, default=env_defaults.cores)
     parser.add_argument(
-        "--jobs",
-        type=int,
-        default=int(os.environ.get("EVAL_REPRO_JOBS", "1")),
-        help="worker processes for Monte-Carlo targets (default: "
-             "$EVAL_REPRO_JOBS or 1)",
+        "--fc-examples", type=int, default=env_defaults.fc_examples
     )
-    parser.add_argument(
-        "--cache-dir",
-        default=os.environ.get("EVAL_REPRO_CACHE") or None,
-        help="persist measurements/banks/summaries here (default: "
-             "$EVAL_REPRO_CACHE)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable the on-disk artifact cache",
-    )
+    parser.add_argument("--seed", type=int, default=env_defaults.seed)
+    Settings.add_cli_arguments(parser, env_defaults)
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
-    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        settings = Settings.from_args(args, base=env_defaults)
+    except ValueError as exc:
+        parser.error(str(exc))
+    settings.configure()
 
     targets = ALL_TARGETS if "all" in args.targets else args.targets
     runner = None
@@ -99,12 +90,12 @@ def main(argv=None) -> int:
         if runner is None:
             runner = ExperimentRunner(
                 RunnerConfig(
-                    n_chips=args.chips,
-                    cores_per_chip=args.cores,
-                    fuzzy_examples=args.fc_examples,
-                    seed=args.seed,
+                    n_chips=settings.chips,
+                    cores_per_chip=settings.cores,
+                    fuzzy_examples=settings.fc_examples,
+                    seed=settings.seed,
                 ),
-                cache=ExperimentCache(cache_dir) if cache_dir else None,
+                cache=settings.build_cache(),
             )
         return runner
 
@@ -112,11 +103,7 @@ def main(argv=None) -> int:
         print(f"\n=== {target} ===")
         if target in LADDER_TARGETS:
             if ladder is None:
-                ladder = run_ladder(
-                    get_runner(),
-                    parallelism=args.jobs,
-                    use_cache=not args.no_cache,
-                )
+                ladder = run_ladder(get_runner(), settings=settings)
             _print_ladder(ladder, target)
         elif target == "fig1":
             result = run_fig1()
@@ -147,7 +134,7 @@ def main(argv=None) -> int:
                   f"{result.min_pe.max():.1e} over "
                   f"{result.min_pe.shape} (power x freq) grid")
         elif target == "fig13":
-            result = run_fig13(get_runner(), parallelism=args.jobs)
+            result = run_fig13(get_runner(), settings=settings)
             print(format_table(
                 "outcomes (%)",
                 ["Opt", "Env"] + OUTCOME_ORDER,
@@ -164,19 +151,26 @@ def main(argv=None) -> int:
             print(format_table("area overhead (%)", ["Source", "%"],
                                area_rows(run_area_table())))
         elif target == "retiming":
-            result = run_retiming_comparison(n_chips=args.chips)
+            result = run_retiming_comparison(n_chips=settings.chips)
             print(format_table(
                 "EVAL vs dynamic retiming",
                 ["scheme", "f_rel", "gain"],
                 result.rows(),
             ))
         elif target == "sensitivity":
-            result = run_sensitivity(n_chips=max(2, args.chips // 3))
+            result = run_sensitivity(n_chips=max(2, settings.chips // 3))
             print(format_table(
                 "variation severity sweep",
                 ["sigma/mu", "phi", "Baseline", "EVAL", "recovered"],
                 result.rows(),
             ))
+
+    if settings.metrics_out:
+        document = obs.metrics_registry().to_dict()
+        with open(settings.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nmetrics written to {settings.metrics_out}")
     return 0
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from enum import Enum
@@ -38,6 +39,7 @@ from typing import Any, Dict, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import obs
 from ..calibration import Calibration
 from ..core.environments import AdaptationMode, Environment
 from ..core.optimizer import OptimizationSpec
@@ -50,6 +52,8 @@ from ..ml.persistence import load_bank, save_bank
 #: Bump when the stored artifact layout changes; keys include it, so old
 #: cache directories keep working (their entries just stop being hit).
 CACHE_FORMAT_VERSION = 1
+
+log = logging.getLogger("repro.exps.cache")
 
 _MEAS_META_FIELDS = (
     "name", "phase", "domain", "cpi_comp", "cpi_total",
@@ -168,6 +172,12 @@ class CacheStats:
 
     def record(self, kind: str, hit: bool) -> None:
         (self.hits if hit else self.misses)[kind] += 1
+        # Touch both counters (one with 0) so every run that accesses a
+        # cache kind reports the same metric names — serial and parallel
+        # runs must stay structurally identical even when one of them
+        # never hits (or never misses).
+        obs.inc(f"cache.{kind}.hits", 1.0 if hit else 0.0)
+        obs.inc(f"cache.{kind}.misses", 0.0 if hit else 1.0)
 
 
 class ExperimentCache:
@@ -206,6 +216,12 @@ class ExperimentCache:
                 os.unlink(tmp)
             raise
 
+    def _note_write(self, kind: str, path: Path, existed: bool) -> None:
+        """Account one artifact write (bytes; overwrites = invalidations)."""
+        obs.inc("cache.invalidations", 1.0 if existed else 0.0)
+        obs.inc("cache.bytes_written", float(path.stat().st_size))
+        log.debug("wrote %s artifact %s", kind, path.name)
+
     # -- measurements ---------------------------------------------------
     def load_measurement(self, key: str) -> Optional[WorkloadMeasurement]:
         """Return a cached measurement, or ``None`` on a miss."""
@@ -227,6 +243,7 @@ class ExperimentCache:
         """Store one measurement (arrays binary, scalars as JSON)."""
         meta = {name: getattr(meas, name) for name in _MEAS_META_FIELDS}
         path = self._path("measurements", key, ".npz")
+        existed = path.exists()
         self._atomic_replace(
             lambda tmp: np.savez(
                 tmp,
@@ -238,6 +255,7 @@ class ExperimentCache:
             ),
             path,
         )
+        self._note_write("measurement", path, existed)
 
     # -- controller banks -----------------------------------------------
     def load_bank(self, key: str) -> Optional[ControllerBank]:
@@ -253,7 +271,9 @@ class ExperimentCache:
     def save_bank(self, key: str, bank: ControllerBank) -> None:
         """Store one trained bank through :mod:`repro.ml.persistence`."""
         path = self._path("banks", key, ".npz")
+        existed = path.exists()
         self._atomic_replace(lambda tmp: save_bank(bank, tmp), path)
+        self._note_write("bank", path, existed)
 
     # -- suite summaries -------------------------------------------------
     def load_summary(self, key: str):
@@ -272,4 +292,6 @@ class ExperimentCache:
         """Store one suite summary in the shared JSON wire format."""
         path = self._path("summaries", key, ".json")
         text = summary.to_json()
+        existed = path.exists()
         self._atomic_replace(lambda tmp: tmp.write_text(text), path)
+        self._note_write("summary", path, existed)

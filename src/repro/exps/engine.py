@@ -23,15 +23,19 @@ to the serial run at the same seed.
 
 from __future__ import annotations
 
-import os
+import logging
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..core.environments import AdaptationMode, Environment
 from ..microarch.workloads import WorkloadProfile
 from .cache import ExperimentCache, summary_key
+
+log = logging.getLogger("repro.exps.engine")
 
 
 @dataclass(frozen=True)
@@ -106,14 +110,36 @@ class RunResult:
 # once per worker and rebuilds the full runner from the light specs.
 # ----------------------------------------------------------------------
 _WORKER_RUNNER = None
+_WORKER_BANK_CACHE = None
 
 
-def _init_worker(config, calib, core_config, workloads, cache_root) -> None:
-    """Build this worker's private runner (population, cores, caches)."""
-    global _WORKER_RUNNER
+def _init_worker(
+    config, calib, core_config, workloads, cache_root, bank_cache_root,
+    obs_enabled,
+) -> None:
+    """Build this worker's private runner (population, cores, caches).
+
+    ``cache_root`` is the user-facing artifact cache (``None`` when the
+    caller disabled caching), while ``bank_cache_root`` is the bank
+    transport — possibly an ephemeral directory — that heavy trained
+    banks always travel through.  Keeping them separate means
+    ``--no-cache`` runs really do skip the measurement/summary cache in
+    workers, so serial and parallel runs produce the same cache counters.
+    """
+    global _WORKER_RUNNER, _WORKER_BANK_CACHE
     from .runner import ExperimentRunner
 
+    # Fork-started workers inherit the parent's metric state; start from a
+    # clean slate so drained deltas only ever contain this worker's work.
+    obs.metrics_registry().clear()
+    if obs_enabled:
+        obs.enable()
+    else:
+        obs.disable()
     cache = ExperimentCache(cache_root) if cache_root else None
+    _WORKER_BANK_CACHE = (
+        ExperimentCache(bank_cache_root) if bank_cache_root else None
+    )
     _WORKER_RUNNER = ExperimentRunner(
         config,
         calib,
@@ -124,9 +150,17 @@ def _init_worker(config, calib, core_config, workloads, cache_root) -> None:
 
 
 def _run_unit(env, mode, chip_index, core_index):
-    """Run one (environment, mode, chip, core) unit; return record dicts."""
-    rows = _WORKER_RUNNER.run_unit(env, mode, chip_index, core_index)
-    return [row.to_dict() for row in rows]
+    """Run one (environment, mode, chip, core) unit.
+
+    Returns the :class:`PhaseResult` record dicts plus this worker's
+    metric *delta* since the previous unit — the parent merges the deltas
+    into the campaign registry, giving fleet-wide totals.
+    """
+    bank = None
+    if mode is AdaptationMode.FUZZY_DYN and _WORKER_BANK_CACHE is not None:
+        bank = _WORKER_RUNNER.bank_for(env, cache=_WORKER_BANK_CACHE)
+    rows = _WORKER_RUNNER.run_unit(env, mode, chip_index, core_index, bank=bank)
+    return [row.to_dict() for row in rows], obs.metrics_registry().drain()
 
 
 # ----------------------------------------------------------------------
@@ -141,63 +175,108 @@ def _resolve_cache(runner, spec: RunSpec) -> Optional[ExperimentCache]:
 
 
 def execute(runner, spec: RunSpec) -> RunResult:
-    """Run a campaign on a runner: cache lookups, shard, gather, store."""
+    """Run a campaign on a runner: cache lookups, shard, gather, store.
+
+    All instrumentation of the campaign — cache hit/miss counters, span
+    timings from the serial loop, merged worker deltas — accumulates in a
+    campaign-local registry, whose snapshot is attached to every summary
+    computed by this call (``SuiteSummary.metrics``) and then folded into
+    the ambient process registry (what ``--metrics-out`` writes).
+    """
     from .runner import PhaseResult, summarise
 
     workloads = (
         list(spec.workloads) if spec.workloads is not None else list(runner.workloads)
     )
-    cache = _resolve_cache(runner, spec)
+    campaign = obs.MetricsRegistry()
     result = RunResult(spec=spec)
-    pending: List[Tuple[Environment, AdaptationMode, Optional[str]]] = []
-    novar_memo: Dict[str, "SuiteSummary"] = {}
+    computed_cells: List[Tuple[str, str]] = []
+    with obs.scoped(campaign), obs.span("engine.execute"):
+        cache = _resolve_cache(runner, spec)
+        pending: List[Tuple[Environment, AdaptationMode, Optional[str]]] = []
+        novar_memo: Dict[str, "SuiteSummary"] = {}
+        obs.set_gauge("engine.jobs", spec.parallelism)
+        obs.inc("engine.cells_requested", len(spec.pairs()))
 
-    for env, mode in spec.pairs():
-        cell = (env.name, mode.value)
-        if cell in result.summaries:
-            continue
-        key = (
-            summary_key(
-                runner.calib, runner.config, runner.core_config, env, mode, workloads
-            )
-            if cache is not None
-            else None
-        )
-        if cache is not None:
-            hit = cache.load_summary(key)
-            if hit is not None:
-                result.summaries[cell] = hit
+        for env, mode in spec.pairs():
+            cell = (env.name, mode.value)
+            if cell in result.summaries:
                 continue
-        if not env.variation:
-            # NoVar has no population dimension: compute once, serially.
-            if env.name not in novar_memo:
-                novar_memo[env.name] = runner.novar_summary(workloads)
-            result.summaries[cell] = novar_memo[env.name]
+            key = (
+                summary_key(
+                    runner.calib, runner.config, runner.core_config, env, mode,
+                    workloads,
+                )
+                if cache is not None
+                else None
+            )
             if cache is not None:
-                cache.save_summary(key, result.summaries[cell])
-            continue
-        pending.append((env, mode, key))
+                hit = cache.load_summary(key)
+                if hit is not None:
+                    result.summaries[cell] = hit
+                    obs.emit_event("cell", env=cell[0], mode=cell[1],
+                                   source="cache")
+                    continue
+            if not env.variation:
+                # NoVar has no population dimension: compute once, serially.
+                if env.name not in novar_memo:
+                    novar_memo[env.name] = runner.novar_summary(workloads)
+                result.summaries[cell] = novar_memo[env.name]
+                computed_cells.append(cell)
+                if cache is not None:
+                    cache.save_summary(key, result.summaries[cell])
+                continue
+            pending.append((env, mode, key))
 
-    if pending:
-        if spec.parallelism > 1:
-            computed = _execute_parallel(runner, spec, pending, workloads, cache)
-        else:
-            computed = {}
-            for env, mode, _ in pending:
-                rows: List[PhaseResult] = []
-                for chip_index in range(runner.config.n_chips):
-                    for core_index in range(runner.config.cores_per_chip):
-                        rows.extend(
-                            runner.run_unit(
-                                env, mode, chip_index, core_index, workloads
+        if pending:
+            n_units = (
+                len(pending) * runner.config.n_chips * runner.config.cores_per_chip
+            )
+            obs.set_gauge("engine.units", n_units)
+            obs.set_gauge("engine.workers", min(spec.parallelism, n_units))
+            log.info(
+                "running %d cells (%d units) with parallelism=%d",
+                len(pending), n_units, spec.parallelism,
+            )
+            start = time.perf_counter()
+            if spec.parallelism > 1:
+                computed = _execute_parallel(
+                    runner, spec, pending, workloads, cache, campaign
+                )
+            else:
+                computed = {}
+                for env, mode, _ in pending:
+                    rows: List[PhaseResult] = []
+                    for chip_index in range(runner.config.n_chips):
+                        for core_index in range(runner.config.cores_per_chip):
+                            rows.extend(
+                                runner.run_unit(
+                                    env, mode, chip_index, core_index, workloads
+                                )
                             )
-                        )
-                computed[(env.name, mode.value)] = summarise(rows)
-        for env, mode, key in pending:
-            summary = computed[(env.name, mode.value)]
-            result.summaries[(env.name, mode.value)] = summary
-            if cache is not None:
-                cache.save_summary(key, summary)
+                    computed[(env.name, mode.value)] = summarise(rows)
+            elapsed = time.perf_counter() - start
+            obs.inc("engine.compute_seconds", elapsed)
+            if elapsed > 0.0:
+                obs.set_gauge("engine.units_per_second", n_units / elapsed)
+            for env, mode, key in pending:
+                cell = (env.name, mode.value)
+                summary = computed[cell]
+                result.summaries[cell] = summary
+                computed_cells.append(cell)
+                obs.emit_event("cell", env=cell[0], mode=cell[1],
+                               source="computed")
+                if cache is not None:
+                    cache.save_summary(key, summary)
+
+    # Attach the fleet-wide campaign snapshot to every summary this call
+    # actually computed (cache hits keep whatever metrics they were saved
+    # with), then fold the campaign into the ambient process registry.
+    if obs.enabled():
+        metrics_doc = campaign.to_dict()
+        for cell in computed_cells:
+            result.summaries[cell].metrics = metrics_doc
+        obs.metrics_registry().merge(campaign)
     return result
 
 
@@ -207,6 +286,7 @@ def _execute_parallel(
     pending: Sequence[Tuple[Environment, AdaptationMode, Optional[str]]],
     workloads: Sequence[WorkloadProfile],
     cache: Optional[ExperimentCache],
+    campaign: obs.MetricsRegistry,
 ) -> Dict[Tuple[str, str], "SuiteSummary"]:
     """Shard pending cells over a process pool; reassemble in order."""
     from .runner import PhaseResult, summarise
@@ -232,6 +312,7 @@ def _execute_parallel(
         # Honour the requested parallelism (the caller knows the machine);
         # never spin up more workers than there are units to run.
         max_workers = min(spec.parallelism, len(units))
+        log.debug("sharding %d units across %d workers", len(units), max_workers)
         unit_rows: List[Optional[List[PhaseResult]]] = [None] * len(units)
         with ProcessPoolExecutor(
             max_workers=max_workers,
@@ -241,7 +322,9 @@ def _execute_parallel(
                 runner.calib,
                 runner.core_config,
                 tuple(workloads),
+                str(cache.root) if cache is not None else None,
                 str(transport.root),
+                obs.enabled(),
             ),
         ) as pool:
             futures = {
@@ -249,10 +332,11 @@ def _execute_parallel(
                 for index, unit in enumerate(units)
             }
             for future in futures:
-                records = future.result()
+                records, metrics_delta = future.result()
                 unit_rows[futures[future]] = [
                     PhaseResult.from_dict(record) for record in records
                 ]
+                campaign.merge_dict(metrics_delta)
 
         computed: Dict[Tuple[str, str], "SuiteSummary"] = {}
         per_cell: Dict[Tuple[str, str], List[PhaseResult]] = {}

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..config import Settings
 from ..core.environments import (
     CONTROLLER_STUDY_ENVIRONMENTS,
     AdaptationMode,
@@ -62,8 +63,19 @@ def run_fig13(
     runner: Optional[ExperimentRunner] = None,
     environments: Optional[List[Environment]] = None,
     parallelism: int = 1,
+    settings: Optional[Settings] = None,
 ) -> Fig13Result:
-    """Run the Figure 13 outcome study under Fuzzy-Dyn."""
+    """Run the Figure 13 outcome study under Fuzzy-Dyn.
+
+    ``settings`` (a :class:`repro.config.Settings` bundle) overrides
+    ``parallelism`` and supplies the artifact-cache configuration.
+    """
+    cache_dir = None
+    use_cache = True
+    if settings is not None:
+        parallelism = settings.jobs
+        cache_dir = settings.effective_cache_dir
+        use_cache = settings.cache_enabled
     runner = runner or ExperimentRunner(RunnerConfig(n_chips=8))
     environments = environments or CONTROLLER_STUDY_ENVIRONMENTS
 
@@ -80,6 +92,8 @@ def run_fig13(
         environments=tuple(env for _, _, env in cells),
         modes=(AdaptationMode.FUZZY_DYN,),
         parallelism=parallelism,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
     ))
 
     fractions: Dict[Tuple[str, str], Dict[str, float]] = {}

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..config import Settings
 from ..core.environments import (
     ADAPTIVE_ENVIRONMENTS,
     BASELINE,
@@ -75,6 +76,7 @@ def run_ladder(
     parallelism: int = 1,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    settings: Optional[Settings] = None,
 ) -> LadderResult:
     """Run the full Figures 10-12 grid.
 
@@ -89,7 +91,13 @@ def run_ladder(
         cache_dir: On-disk artifact cache (the ``--cache-dir`` flag);
             ``None`` uses the runner's configured cache, if any.
         use_cache: ``False`` disables the disk cache (``--no-cache``).
+        settings: A :class:`repro.config.Settings` bundle; when given it
+            overrides ``parallelism``, ``cache_dir`` and ``use_cache``.
     """
+    if settings is not None:
+        parallelism = settings.jobs
+        cache_dir = settings.effective_cache_dir
+        use_cache = settings.cache_enabled
     runner = runner or ExperimentRunner(RunnerConfig())
     environments = (
         list(environments) if environments is not None else list(ADAPTIVE_ENVIRONMENTS)

@@ -44,6 +44,8 @@ def results_table(summary, title: str = "phase results",
     Rows come straight from the :meth:`PhaseResult.to_dict` records, so
     what is printed is exactly what crosses process boundaries and what
     the cache persists.  Long runs are truncated with an ellipsis row.
+    When the summary carries a campaign metrics snapshot
+    (``summary.metrics``), a counters/timings footer is appended.
     """
     records = [r.to_dict() for r in summary.results]
     rows = [
@@ -57,7 +59,41 @@ def results_table(summary, title: str = "phase results",
         rows.append(["..."] * len(RESULT_COLUMNS))
     header = (f"{title}  (f_rel {summary.f_rel:.3f}, "
               f"perf_rel {summary.perf_rel:.3f}, power {summary.power:.1f} W)")
-    return format_table(header, list(RESULT_COLUMNS), rows)
+    table = format_table(header, list(RESULT_COLUMNS), rows)
+    footer = metrics_footer(getattr(summary, "metrics", None))
+    return table + ("\n" + footer if footer else "")
+
+
+def metrics_footer(metrics) -> str:
+    """A compact one-line-per-kind rendering of a metrics snapshot.
+
+    Accepts the ``MetricsRegistry.to_dict()`` document attached to
+    computed summaries (``SuiteSummary.metrics``); returns ``""`` for
+    ``None`` or an empty snapshot.
+    """
+    if not metrics:
+        return ""
+    lines = []
+    counters = metrics.get("counters", {})
+    if counters:
+        rendered = ", ".join(
+            f"{name}={value:g}" for name, value in sorted(counters.items())
+        )
+        lines.append(f"counters: {rendered}")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        rendered = ", ".join(
+            f"{name}={value:g}" for name, value in sorted(gauges.items())
+        )
+        lines.append(f"gauges: {rendered}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        rendered = ", ".join(
+            f"{name} p50={doc['p50']:.4g} p99={doc['p99']:.4g} (n={doc['count']})"
+            for name, doc in sorted(histograms.items())
+        )
+        lines.append(f"timings: {rendered}")
+    return "\n".join(lines)
 
 
 def format_series(title: str, xs, ys, x_name: str = "x", y_name: str = "y",

@@ -23,12 +23,14 @@ Paper-scale runs are sharded across worker processes with
 from __future__ import annotations
 
 import json
+import logging
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..calibration import DEFAULT_CALIBRATION, Calibration
 from ..chip.chip import Core, build_core, build_novar_core
 from ..core.adaptation import (
@@ -57,6 +59,8 @@ from ..ml.bank import ControllerBank, get_bank
 from ..timing.speculation import performance
 from ..variation.population import VariationModel
 from .cache import ExperimentCache, bank_key, measurement_key
+
+log = logging.getLogger("repro.exps.runner")
 
 
 @dataclass(frozen=True)
@@ -125,21 +129,34 @@ class PhaseResult:
 
 @dataclass
 class SuiteSummary:
-    """Phase-weighted means over a whole run."""
+    """Phase-weighted means over a whole run.
+
+    ``metrics`` is the observability block: the fleet-wide campaign
+    metrics snapshot (see :mod:`repro.obs`) attached by the engine to
+    every summary it computes.  It is excluded from equality so
+    serial/parallel determinism checks keep comparing physics, not
+    wall-clock timings.
+    """
 
     f_rel: float
     perf_rel: float
     power: float
     results: List[PhaseResult] = field(repr=False, default_factory=list)
+    metrics: Optional[Dict[str, Any]] = field(
+        repr=False, compare=False, default=None
+    )
 
     def to_json(self) -> str:
         """Serialise to the shared wire format (see :class:`PhaseResult`)."""
-        return json.dumps({
+        document = {
             "f_rel": self.f_rel,
             "perf_rel": self.perf_rel,
             "power": self.power,
             "results": [r.to_dict() for r in self.results],
-        })
+        }
+        if self.metrics is not None:
+            document["metrics"] = self.metrics
+        return json.dumps(document)
 
     @classmethod
     def from_json(cls, text: str) -> "SuiteSummary":
@@ -152,6 +169,7 @@ class SuiteSummary:
             results=[
                 PhaseResult.from_dict(record) for record in document["results"]
             ],
+            metrics=document.get("metrics"),
         )
 
 
@@ -210,12 +228,27 @@ class ExperimentRunner:
     ) -> Tuple[WorkloadMeasurement, Optional[WorkloadMeasurement]]:
         """Measure a phase profile under an environment's pipeline configs.
 
-        Memoised on the (profile fingerprint, environment knob) pair, so
-        repeated callers — the main loop and the Static-mode aggregation —
-        share one measurement instead of re-entering the simulator path.
+        Memoised on the (profile fingerprint, environment knobs, seed,
+        trace length) tuple, so repeated callers — the main loop and the
+        Static-mode aggregation — share one measurement instead of
+        re-entering the simulator path.  The seed and instruction count
+        are part of the key even though they are fixed per config: a
+        runner whose config is swapped out (tests, reuse across sweeps)
+        must never serve one seed's measurement to another.
         """
-        memo_key = (_profile_key(profile), env.fu, env.queue)
+        memo_key = (
+            _profile_key(profile),
+            env.fu,
+            env.queue,
+            self.config.seed,
+            self.config.n_instructions,
+        )
         cached = self._measurements.get(memo_key)
+        # Touch both counters so they exist in every metrics document —
+        # serial and parallel runs must stay structurally identical even
+        # when one of them never hits (or never misses) the memo.
+        obs.inc("runner.measure_memo_hits", 1.0 if cached is not None else 0.0)
+        obs.inc("runner.measure_memo_misses", 0.0 if cached is not None else 1.0)
         if cached is not None:
             return cached
         technique = TechniqueState(domain=profile.domain)
@@ -275,13 +308,15 @@ class ExperimentRunner:
         if cache is not None:
             bank = cache.load_bank(key)
         if bank is None:
-            bank = get_bank(
-                self.core(0, 0),
-                spec,
-                n_examples=self.config.fuzzy_examples,
-                epochs=self.config.fuzzy_epochs,
-                seed=self.config.seed,
-            )
+            log.info("training fuzzy bank for %s", env.name)
+            with obs.span("ml.bank_training", env=env.name):
+                bank = get_bank(
+                    self.core(0, 0),
+                    spec,
+                    n_examples=self.config.fuzzy_examples,
+                    epochs=self.config.fuzzy_epochs,
+                    seed=self.config.seed,
+                )
             if cache is not None:
                 cache.save_bank(key, bank)
         self._banks[key] = bank
@@ -342,36 +377,42 @@ class ExperimentRunner:
         runs bit-identical to serial ones.
         """
         workloads = list(workloads) if workloads is not None else self.workloads
-        core = self.core(chip_index, core_index)
-        if mode is AdaptationMode.FUZZY_DYN and bank is None:
-            bank = self.bank_for(env)
-        static_config = (
-            self._static_configuration(core, env, workloads)
-            if mode is AdaptationMode.STATIC
-            else None
-        )
-        results: List[PhaseResult] = []
-        for workload in workloads:
-            for profile, weight in self.phase_profiles(workload):
-                meas_full, meas_resized = self.measurements(profile, env)
-                if mode is AdaptationMode.STATIC:
-                    result = evaluate_at_fixed_config(
-                        core, env, static_config, meas_full
+        with obs.span("engine.unit", env=env.name, mode=mode.value,
+                      chip=chip_index, core=core_index):
+            core = self.core(chip_index, core_index)
+            if mode is AdaptationMode.FUZZY_DYN and bank is None:
+                bank = self.bank_for(env)
+            static_config = (
+                self._static_configuration(core, env, workloads)
+                if mode is AdaptationMode.STATIC
+                else None
+            )
+            results: List[PhaseResult] = []
+            for workload in workloads:
+                for profile, weight in self.phase_profiles(workload):
+                    with obs.span("runner.phase", workload=workload.name,
+                                  env=env.name):
+                        meas_full, meas_resized = self.measurements(
+                            profile, env
+                        )
+                        if mode is AdaptationMode.STATIC:
+                            result = evaluate_at_fixed_config(
+                                core, env, static_config, meas_full
+                            )
+                        else:
+                            result = optimize_phase(
+                                core,
+                                env,
+                                meas_full,
+                                meas_resized,
+                                mode=mode,
+                                bank=bank,
+                            )
+                    results.append(
+                        self._to_phase_result(
+                            core, env, mode, workload, profile, weight, result
+                        )
                     )
-                else:
-                    result = optimize_phase(
-                        core,
-                        env,
-                        meas_full,
-                        meas_resized,
-                        mode=mode,
-                        bank=bank,
-                    )
-                results.append(
-                    self._to_phase_result(
-                        core, env, mode, workload, profile, weight, result
-                    )
-                )
         return results
 
     def novar_summary(
@@ -380,26 +421,27 @@ class ExperimentRunner:
         """The NoVar reference environment (per-phase perf_rel is 1)."""
         workloads = list(workloads) if workloads is not None else self.workloads
         results = []
-        for workload in workloads:
-            for profile, weight in self.phase_profiles(workload):
-                meas, _ = self.measurements(profile, NOVAR)
-                results.append(
-                    PhaseResult(
-                        chip_id=-1,
-                        core_index=0,
-                        workload=workload.name,
-                        phase=profile.phases[0].name,
-                        weight=weight,
-                        environment=NOVAR.name,
-                        mode=AdaptationMode.STATIC.value,
-                        f_rel=1.0,
-                        perf_rel=1.0,
-                        power=self.novar_power(meas),
-                        outcome="NoChange",
-                        queue_full=True,
-                        lowslope=False,
+        with obs.span("runner.novar"):
+            for workload in workloads:
+                for profile, weight in self.phase_profiles(workload):
+                    meas, _ = self.measurements(profile, NOVAR)
+                    results.append(
+                        PhaseResult(
+                            chip_id=-1,
+                            core_index=0,
+                            workload=workload.name,
+                            phase=profile.phases[0].name,
+                            weight=weight,
+                            environment=NOVAR.name,
+                            mode=AdaptationMode.STATIC.value,
+                            f_rel=1.0,
+                            perf_rel=1.0,
+                            power=self.novar_power(meas),
+                            outcome="NoChange",
+                            queue_full=True,
+                            lowslope=False,
+                        )
                     )
-                )
         return summarise(results)
 
     # ------------------------------------------------------------------
@@ -460,20 +502,21 @@ class ExperimentRunner:
         workloads: Sequence[WorkloadProfile],
     ) -> Configuration:
         """One conservative per-chip configuration (the Static bars)."""
-        measurements = []
-        for workload in workloads:
-            for profile, _ in self.phase_profiles(workload):
-                meas_full, _ = self.measurements(profile, env)
-                measurements.append(meas_full)
-        worst = aggregate_static_measurement(measurements)
-        result = optimize_phase(
-            core,
-            env,
-            worst,
-            worst if env.queue else None,
-            mode=AdaptationMode.EXH_DYN,
-        )
-        return result.config
+        with obs.span("runner.static_config", env=env.name):
+            measurements = []
+            for workload in workloads:
+                for profile, _ in self.phase_profiles(workload):
+                    meas_full, _ = self.measurements(profile, env)
+                    measurements.append(meas_full)
+            worst = aggregate_static_measurement(measurements)
+            result = optimize_phase(
+                core,
+                env,
+                worst,
+                worst if env.queue else None,
+                mode=AdaptationMode.EXH_DYN,
+            )
+            return result.config
 
     def _to_phase_result(
         self,

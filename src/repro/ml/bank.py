@@ -17,6 +17,7 @@ population; :func:`get_bank` memoises them.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
@@ -24,6 +25,7 @@ import numpy as np
 
 from scipy.special import ndtri
 
+from .. import obs
 from ..chip.chip import Core
 from ..core.optimizer import OptimizationSpec
 from ..mitigation.base import (
@@ -76,6 +78,7 @@ class ControllerBank:
         rho: float,
     ) -> float:
         """FC estimate of a subsystem's max frequency, in hertz."""
+        start = time.perf_counter()
         fc = self.freq_fcs[(index, variant)]
         slowness = self.demand(
             core, index, variant, th, rho, core.calib.f_nominal
@@ -83,6 +86,8 @@ class ControllerBank:
         inputs = np.array([slowness, alpha, rho, th, core.vt0_leak[index]])
         ghz = fc.predict(inputs)
         ghz += self.optimism * self.freq_rmse.get((index, variant), 0.0)
+        obs.inc("ml.inference_calls")
+        obs.inc("ml.inference_seconds", time.perf_counter() - start)
         return float(
             np.clip(ghz * 1e9, self.spec.knob_ranges.f_min, self.spec.knob_ranges.f_max)
         )
@@ -137,6 +142,7 @@ class ControllerBank:
         f_core: float,
     ) -> Tuple[float, float]:
         """FC estimates of (Vdd, Vbb), snapped to the legal level grids."""
+        start = time.perf_counter()
         demand = self.demand(core, index, variant, th, rho, f_core)
         inputs = np.array([demand, alpha])
         if self.has_vdd:
@@ -149,6 +155,8 @@ class ControllerBank:
             vbb = _snap(raw_vbb, self.spec.vbb_levels)
         else:
             vbb = float(self.spec.vbb_levels[0])
+        obs.inc("ml.inference_calls")
+        obs.inc("ml.inference_seconds", time.perf_counter() - start)
         return vdd, vbb
 
     def variants_for(self, core: Core, index: int) -> Tuple[str, ...]:

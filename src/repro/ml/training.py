@@ -13,10 +13,12 @@ with ``e = 0.5 * (z - target)^2`` for the Eq 12 output ``z``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .fuzzy import FuzzyController
 
 #: Paper settings (Figure 7(a)): 25 rules, 10,000 training examples.
@@ -86,12 +88,16 @@ def train_fuzzy_controller(
         mu=mu, sigma=sigma, y=y, input_mean=mean, input_std=std
     )
 
+    start = time.perf_counter()
     for _ in range(max(1, epochs)):
         for k in range(n_rules, len(inputs)):
             _online_step(controller, x_std[k], targets[k], learning_rate)
 
     predictions = controller.predict_batch(inputs)
     rmse = float(np.sqrt(np.mean((predictions - targets) ** 2)))
+    obs.inc("ml.fcs_trained")
+    obs.observe("ml.train_seconds", time.perf_counter() - start)
+    obs.observe("ml.train_rmse", rmse)
     return controller, TrainingReport(
         n_examples=len(inputs), epochs=max(1, epochs), final_rmse=rmse
     )

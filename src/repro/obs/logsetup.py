@@ -1,0 +1,59 @@
+"""Logging configuration for the ``repro`` logger hierarchy.
+
+Every instrumented module logs under ``repro.<module>``; this installs a
+single handler on the ``repro`` root with either a human-readable or a
+JSON-lines formatter (``--log-json``), replacing any handler a previous
+call installed so repeated configuration (tests, REPL) never stacks
+duplicate output.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per log line, shippable alongside the event sink."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            doc["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(doc)
+
+
+def configure_logging(
+    level: str = "INFO",
+    json_lines: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger and return it.
+
+    Args:
+        level: Threshold name (``DEBUG``/``INFO``/``WARNING``/``ERROR``).
+        json_lines: Emit one JSON object per line instead of plain text.
+        stream: Destination (default ``sys.stderr``).
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper()))
+    for handler in [h for h in logger.handlers if getattr(h, "_repro_obs", False)]:
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    if json_lines:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

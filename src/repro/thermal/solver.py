@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..chip.chip import Core
 
 #: Hard cap applied during iteration; reaching it flags thermal runaway.
@@ -88,14 +89,18 @@ def solve_temperatures(
 
     temp = np.full(shape, t_heatsink + 5.0)
     p_sta = np.zeros(shape)
-    for _ in range(max_iter):
+    iterations = max_iter
+    for iteration in range(max_iter):
         p_sta = core.subsystem_static_power(vdd, vbb, temp)
         new_temp = t_heatsink + core.rth * (p_dyn + p_sta)
         new_temp = np.minimum(new_temp, T_RUNAWAY)
         if np.max(np.abs(new_temp - temp)) < tol:
             temp = new_temp
+            iterations = iteration + 1
             break
         temp = new_temp
+    obs.inc("thermal.solves")
+    obs.observe("thermal.iterations", iterations)
     p_sta = core.subsystem_static_power(vdd, vbb, temp)
     converged = temp < T_RUNAWAY - tol
     return ThermalSolution(

@@ -12,7 +12,7 @@ import pytest
 
 from repro.calibration import DEFAULT_CALIBRATION
 from repro.chip import build_core, build_novar_core
-from repro.core import TS, TS_ASV, AdaptationMode
+from repro.core import TS, TS_ASV
 from repro.exps.runner import ExperimentRunner, RunnerConfig
 from repro.microarch import (
     DEFAULT_CORE_CONFIG,

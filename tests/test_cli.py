@@ -1,5 +1,7 @@
 """The `python -m repro.exps` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.exps.__main__ import main
@@ -24,3 +26,31 @@ class TestCLI:
     def test_rejects_unknown_target(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_rejects_bad_jobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["area", "--jobs", "0"])
+
+
+class TestCLISettings:
+    def test_metrics_out_writes_valid_json(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["area", "fig1", "--metrics-out", str(path)]) == 0
+        assert f"metrics written to {path}" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        assert set(document) == {"counters", "gauges", "histograms"}
+
+    def test_env_provides_defaults(self, tmp_path, capsys, monkeypatch):
+        path = tmp_path / "metrics.json"
+        monkeypatch.setenv("EVAL_REPRO_METRICS_OUT", str(path))
+        assert main(["area"]) == 0
+        capsys.readouterr()
+        assert json.loads(path.read_text()) is not None
+
+    def test_flag_beats_env(self, tmp_path, capsys, monkeypatch):
+        env_path = tmp_path / "from_env.json"
+        flag_path = tmp_path / "from_flag.json"
+        monkeypatch.setenv("EVAL_REPRO_METRICS_OUT", str(env_path))
+        assert main(["area", "--metrics-out", str(flag_path)]) == 0
+        capsys.readouterr()
+        assert flag_path.exists() and not env_path.exists()

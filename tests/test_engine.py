@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.calibration import DEFAULT_CALIBRATION, Calibration
-from repro.core import BASELINE, NOVAR, TS, TS_ASV, AdaptationMode
+from repro.core import NOVAR, TS, TS_ASV, AdaptationMode
 from repro.exps import ExperimentRunner, RunnerConfig, RunSpec
 from repro.exps.cache import (
     ExperimentCache,
@@ -250,5 +250,39 @@ class TestStaticMemoisation:
             # One simulator entry per phase profile, despite the Static
             # aggregation pass also needing every measurement per core.
             assert len(calls) == n_phase_profiles
+        finally:
+            runner_mod.measure_workload = original
+
+    def test_memo_key_includes_seed(self, two_workloads):
+        """Two seeds must never share a memo entry (regression).
+
+        The memo key once omitted the seed, so a runner whose config was
+        swapped out — the supported reuse pattern across sweeps — served
+        seed A's measurements to seed B.
+        """
+        import dataclasses
+
+        import repro.exps.runner as runner_mod
+
+        runner = ExperimentRunner(ENGINE_CONFIG, workloads=two_workloads)
+        profile = next(runner.phase_profiles(two_workloads[0]))[0]
+        calls = []
+        original = runner_mod.measure_workload
+
+        def counting(*args, **kwargs):
+            calls.append(kwargs.get("seed", args[3] if len(args) > 3 else None))
+            return original(*args, **kwargs)
+
+        runner_mod.measure_workload = counting
+        try:
+            runner.measurements(profile, TS)
+            runner.measurements(profile, TS)  # memoised: no new call
+            assert len(calls) == 1
+            runner.config = dataclasses.replace(
+                runner.config, seed=ENGINE_CONFIG.seed + 1
+            )
+            runner.measurements(profile, TS)  # new seed: must re-measure
+            assert len(calls) == 2
+            assert calls[0] != calls[1]
         finally:
             runner_mod.measure_workload = original

@@ -9,7 +9,6 @@ from repro.ml import (
     sample_inputs,
     train_fuzzy_controller,
 )
-from repro.ml.bank import FU_NORMAL, QUEUE_FULL
 from repro.ml.dataset import demand_feature, _batch_arrays
 
 

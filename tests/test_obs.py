@@ -1,0 +1,290 @@
+"""The repro.obs observability layer: metrics, spans, events, engine wiring."""
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro import obs
+from repro.core import TS, AdaptationMode
+from repro.exps import ExperimentRunner, RunnerConfig, RunSpec
+from repro.microarch import spec2000_like_suite
+from repro.obs import (
+    EventSink,
+    MetricsRegistry,
+    read_events,
+    set_event_sink,
+    span,
+)
+
+OBS_CONFIG = RunnerConfig(
+    n_chips=2,
+    cores_per_chip=1,
+    n_instructions=3000,
+    fuzzy_examples=300,
+    fuzzy_epochs=1,
+)
+
+
+@pytest.fixture(autouse=True)
+def _obs_reset():
+    """Leave the process-global obs state exactly as we found it."""
+    yield
+    obs.enable()
+    set_event_sink(None)
+    obs.metrics_registry().clear()
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.5)
+        reg.gauge("g").set(4)
+        for v in (1.0, 2.0, 3.0):
+            reg.histogram("h").observe(v)
+        doc = reg.to_dict()
+        assert doc["counters"]["c"] == 3.5
+        assert doc["gauges"]["g"] == 4.0
+        h = doc["histograms"]["h"]
+        assert h["count"] == 3 and h["total"] == 6.0
+        assert h["min"] == 1.0 and h["max"] == 3.0
+        assert h["mean"] == pytest.approx(2.0)
+
+    def test_histogram_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50.0) == pytest.approx(50.5)
+        assert h.percentile(99.0) == pytest.approx(99.01)
+        doc = h.summary()
+        assert doc["p50"] == pytest.approx(50.5)
+        assert doc["p90"] == pytest.approx(90.1)
+
+    def test_histogram_reservoir_is_bounded(self):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        h = MetricsRegistry().histogram("h")
+        for v in range(RESERVOIR_SIZE + 100):
+            h.observe(float(v))
+        assert h.count == RESERVOIR_SIZE + 100  # moments stay exact
+        assert len(h.values) == RESERVOIR_SIZE
+        assert h.vmax == float(RESERVOIR_SIZE + 99)  # max tracked past cap
+
+    def test_merge_sums_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.counter("only_b").inc()
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(5.0)
+        a.gauge("g").set(1)
+        b.gauge("g").set(9)
+        a.merge(b)
+        doc = a.to_dict()
+        assert doc["counters"]["c"] == 5.0
+        assert doc["counters"]["only_b"] == 1.0
+        assert doc["gauges"]["g"] == 9.0  # last write wins
+        h = doc["histograms"]["h"]
+        assert h["count"] == 2 and h["min"] == 1.0 and h["max"] == 5.0
+
+    def test_merge_is_json_safe(self):
+        """The wire document survives an actual JSON round trip."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("c").inc()
+        b.histogram("h").observe(2.0)
+        a.merge_dict(json.loads(json.dumps(b.to_dict())))
+        assert a.to_dict()["counters"]["c"] == 1.0
+
+    def test_drain_snapshots_and_resets(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        delta = reg.drain()
+        assert delta["counters"]["c"] == 1.0
+        assert not reg  # emptied
+        assert reg.drain()["counters"] == {}
+
+    def test_scoped_redirects_helpers(self):
+        campaign = MetricsRegistry()
+        with obs.scoped(campaign):
+            obs.inc("scoped.c")
+            assert obs.metrics_registry() is campaign
+        assert campaign.counters["scoped.c"].value == 1.0
+        assert "scoped.c" not in obs.metrics_registry().counters
+
+
+def _worker_chunk(amount):
+    """Module-level so the pool can pickle it: do work, return the delta."""
+    obs.metrics_registry().clear()
+    obs.enable()
+    obs.inc("work.items", amount)
+    obs.observe("work.seconds", 0.01 * amount)
+    return obs.metrics_registry().drain()
+
+
+class TestCrossProcessMerge:
+    def test_parent_merges_worker_deltas(self):
+        parent = MetricsRegistry()
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            for delta in pool.map(_worker_chunk, [1, 2, 3, 4]):
+                parent.merge_dict(delta)
+        doc = parent.to_dict()
+        assert doc["counters"]["work.items"] == 10.0
+        assert doc["histograms"]["work.seconds"]["count"] == 4
+        assert doc["histograms"]["work.seconds"]["max"] == pytest.approx(0.04)
+
+
+class TestSpans:
+    def test_span_records_histogram(self):
+        reg = MetricsRegistry()
+        with obs.scoped(reg):
+            with span("unit.test"):
+                pass
+        assert reg.histograms["span.unit.test_seconds"].count == 1
+
+    def test_disabled_span_is_shared_noop(self):
+        from repro.obs.spans import _NULL_SPAN
+
+        obs.disable()
+        assert span("anything") is _NULL_SPAN
+        assert span("else", field=1) is _NULL_SPAN
+
+    def test_disabled_helpers_record_nothing(self):
+        reg = MetricsRegistry()
+        obs.disable()
+        with obs.scoped(reg):
+            obs.inc("c")
+            obs.observe("h", 1.0)
+            obs.set_gauge("g", 1.0)
+            with span("s"):
+                pass
+        assert not reg
+
+    def test_disabled_overhead_smoke(self):
+        """A disabled helper call is a branch, not bookkeeping."""
+        obs.disable()
+        n = 100_000
+        start = time.perf_counter()
+        for _ in range(n):
+            obs.inc("c")
+            with span("s"):
+                pass
+        elapsed = time.perf_counter() - start
+        # Generous bound (~10 us per iteration) — catches accidental
+        # dict/clock work on the disabled path, not scheduler noise.
+        assert elapsed < 10e-6 * n
+
+    def test_span_nesting_tracked_in_events_not_names(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        reg = MetricsRegistry()
+        with EventSink(path) as sink:
+            set_event_sink(sink)
+            with obs.scoped(reg):
+                with span("outer"):
+                    with span("inner", env="TS"):
+                        pass
+            set_event_sink(None)
+        events = read_events(path)
+        inner, outer = events[0], events[1]  # inner closes first
+        assert inner["name"] == "inner"
+        assert inner["depth"] == 1 and inner["parent"] == "outer"
+        assert inner["env"] == "TS"
+        assert outer["depth"] == 0 and outer["parent"] is None
+        # Nesting never leaks into metric names (serial/parallel parity).
+        assert set(reg.histograms) == {
+            "span.outer_seconds", "span.inner_seconds",
+        }
+
+
+class TestEventSink:
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventSink(path) as sink:
+            sink.emit("cell", env="TS", source="cache")
+            sink.emit("done", items=3)
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["cell", "done"]
+        assert events[0]["env"] == "TS"
+        assert events[1]["items"] == 3
+        assert all("ts" in e for e in events)
+
+    def test_emit_event_without_sink_is_noop(self):
+        set_event_sink(None)
+        obs.emit_event("ignored", detail=1)  # must not raise
+
+
+class TestEngineMetrics:
+    @pytest.fixture(scope="class")
+    def two_workloads(self):
+        return tuple(spec2000_like_suite()[:2])
+
+    def test_serial_and_parallel_metrics_same_structure(self, two_workloads):
+        """--jobs N reports fleet-wide totals under the same metric names."""
+        spec_args = dict(
+            environments=(TS,),
+            modes=(AdaptationMode.EXH_DYN,),
+            workloads=two_workloads,
+            use_cache=False,
+        )
+        serial = ExperimentRunner(OBS_CONFIG).run(
+            RunSpec(**spec_args)
+        ).summary(TS)
+        parallel = ExperimentRunner(OBS_CONFIG).run(
+            RunSpec(parallelism=2, **spec_args)
+        ).summary(TS)
+        assert serial.metrics is not None and parallel.metrics is not None
+        for kind in ("counters", "gauges", "histograms"):
+            assert set(serial.metrics[kind]) == set(parallel.metrics[kind])
+        # Fleet-wide work totals agree exactly; only timings may differ.
+        counters_s = serial.metrics["counters"]
+        counters_p = parallel.metrics["counters"]
+        for name in ("thermal.solves", "optimizer.freq_calls",
+                     "optimizer.candidates", "engine.cells_requested"):
+            assert counters_s[name] == counters_p[name], name
+        unit_hist = serial.metrics["histograms"]["span.engine.unit_seconds"]
+        n_units = OBS_CONFIG.n_chips * OBS_CONFIG.cores_per_chip
+        assert unit_hist["count"] == n_units
+
+    def test_metrics_absent_when_disabled(self, two_workloads):
+        obs.disable()
+        try:
+            summary = ExperimentRunner(OBS_CONFIG).run(RunSpec(
+                environments=(TS,),
+                modes=(AdaptationMode.STATIC,),
+                workloads=two_workloads,
+                use_cache=False,
+            )).summary(TS, AdaptationMode.STATIC)
+        finally:
+            obs.enable()
+        assert summary.metrics is None
+
+    def test_summary_json_carries_metrics(self, two_workloads):
+        runner = ExperimentRunner(OBS_CONFIG)
+        summary = runner.run(RunSpec(
+            environments=(TS,),
+            modes=(AdaptationMode.STATIC,),
+            workloads=two_workloads,
+            use_cache=False,
+        )).summary(TS, AdaptationMode.STATIC)
+        assert summary.metrics is not None
+        restored = type(summary).from_json(summary.to_json())
+        assert restored.metrics == summary.metrics
+        assert restored.results == summary.results
+
+
+class TestReportingFooter:
+    def test_metrics_footer_renders(self):
+        from repro.exps.reporting import metrics_footer
+
+        reg = MetricsRegistry()
+        reg.counter("cache.bank.hits").inc(3)
+        reg.gauge("engine.jobs").set(2)
+        reg.histogram("span.engine.unit_seconds").observe(0.5)
+        text = metrics_footer(reg.to_dict())
+        assert "cache.bank.hits=3" in text
+        assert "engine.jobs=2" in text
+        assert "span.engine.unit_seconds" in text and "p50=0.5" in text
+        assert metrics_footer(None) == ""
+        assert metrics_footer({}) == ""
