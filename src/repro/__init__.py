@@ -17,6 +17,8 @@ Layer map (see DESIGN.md for the full inventory):
   high-dimensional dynamic adaptation, retuning, the runtime timeline.
 * :mod:`repro.exps` — one experiment module per paper table/figure.
 * :mod:`repro.obs` — metrics registry, span timers, JSONL event sink.
+* :mod:`repro.serve` — the async campaign service (coalescing, retries,
+  JSON-lines daemon; ``python -m repro.serve``).
 * :mod:`repro.config` — the :class:`Settings` runtime-knob bundle.
 
 Quickstart::
@@ -65,7 +67,7 @@ from .obs import (
 )
 from .variation import VariationModel
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ADAPTIVE_ENVIRONMENTS",

@@ -21,6 +21,13 @@ Recognised environment variables::
     EVAL_REPRO_LOG_LEVEL    repro logger threshold (``--log-level``)
     EVAL_REPRO_LOG_JSON     any non-empty value selects JSON log lines
     EVAL_REPRO_METRICS_OUT  metrics JSON path (``--metrics-out``)
+
+Campaign-service knobs (see :mod:`repro.serve`)::
+
+    EVAL_REPRO_SERVICE           daemon address, ``host:port`` (``--service``)
+    EVAL_REPRO_SERVICE_MAX_JOBS  admission limit on live jobs
+    EVAL_REPRO_SERVICE_RETRIES   per-unit retry budget
+    EVAL_REPRO_SERVICE_TIMEOUT   per-unit wall-clock budget, seconds
 """
 
 from __future__ import annotations
@@ -48,12 +55,22 @@ class Settings:
     log_level: str = "WARNING"
     log_json: bool = False
     metrics_out: Optional[str] = None
+    service_addr: Optional[str] = None
+    service_max_jobs: int = 8
+    service_retries: int = 1
+    service_cell_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
         if self.log_level.upper() not in _LOG_LEVELS:
             raise ValueError(f"log_level must be one of {_LOG_LEVELS}")
+        if self.service_max_jobs < 1:
+            raise ValueError("service_max_jobs must be >= 1")
+        if self.service_retries < 0:
+            raise ValueError("service_retries must be >= 0")
+        if self.service_cell_timeout is not None and self.service_cell_timeout <= 0:
+            raise ValueError("service_cell_timeout must be > 0 when set")
 
     # ------------------------------------------------------------------
     # Construction.
@@ -84,6 +101,10 @@ class Settings:
             raw = env.get(name)
             return bool(raw) if raw is not None else fallback
 
+        def number(name: str, fallback: Optional[float]) -> Optional[float]:
+            raw = env.get(name)
+            return float(raw) if raw not in (None, "") else fallback
+
         return cls(
             jobs=integer("EVAL_REPRO_JOBS", base.jobs),
             cache_dir=text("EVAL_REPRO_CACHE", base.cache_dir),
@@ -95,6 +116,16 @@ class Settings:
             log_level=text("EVAL_REPRO_LOG_LEVEL", base.log_level).upper(),
             log_json=flag("EVAL_REPRO_LOG_JSON", base.log_json),
             metrics_out=text("EVAL_REPRO_METRICS_OUT", base.metrics_out),
+            service_addr=text("EVAL_REPRO_SERVICE", base.service_addr),
+            service_max_jobs=integer(
+                "EVAL_REPRO_SERVICE_MAX_JOBS", base.service_max_jobs
+            ),
+            service_retries=integer(
+                "EVAL_REPRO_SERVICE_RETRIES", base.service_retries
+            ),
+            service_cell_timeout=number(
+                "EVAL_REPRO_SERVICE_TIMEOUT", base.service_cell_timeout
+            ),
         )
 
     @classmethod
@@ -127,6 +158,12 @@ class Settings:
             log_level=str(take("log_level", base.log_level)).upper(),
             log_json=bool(take("log_json", base.log_json)),
             metrics_out=take("metrics_out", base.metrics_out),
+            service_addr=take("service", base.service_addr),
+            service_max_jobs=take("service_max_jobs", base.service_max_jobs),
+            service_retries=take("service_retries", base.service_retries),
+            service_cell_timeout=take(
+                "service_timeout", base.service_cell_timeout
+            ),
         )
 
     @staticmethod
@@ -171,6 +208,39 @@ class Settings:
             default=defaults.metrics_out,
             help="write the merged fleet-wide metrics registry to this "
                  "JSON file at exit",
+        )
+
+    @staticmethod
+    def add_service_arguments(
+        parser: argparse.ArgumentParser, defaults: "Settings"
+    ) -> None:
+        """Register the campaign-service policy flags (:mod:`repro.serve`).
+
+        The daemon *address* is deliberately not here: daemons bind it as
+        ``--addr`` and clients reach it as ``--service``, both defaulting
+        to :attr:`service_addr` ($EVAL_REPRO_SERVICE).
+        """
+        parser.add_argument(
+            "--service-max-jobs",
+            type=int,
+            default=defaults.service_max_jobs,
+            help="reject submissions beyond this many live jobs "
+                 "(default: $EVAL_REPRO_SERVICE_MAX_JOBS or 8)",
+        )
+        parser.add_argument(
+            "--service-retries",
+            type=int,
+            default=defaults.service_retries,
+            help="per-unit retry budget before a cell is declared "
+                 "poisoned (default: $EVAL_REPRO_SERVICE_RETRIES or 1)",
+        )
+        parser.add_argument(
+            "--service-timeout",
+            type=float,
+            default=defaults.service_cell_timeout,
+            metavar="SECONDS",
+            help="per-unit wall-clock budget; an over-budget unit counts "
+                 "as a failure (default: $EVAL_REPRO_SERVICE_TIMEOUT)",
         )
 
     # ------------------------------------------------------------------

@@ -14,8 +14,11 @@ across N worker processes (results are bit-identical to ``--jobs 1``);
 summaries across invocations; ``--no-cache`` disables the disk cache.
 ``--log-level/--log-json`` control the ``repro`` logger and
 ``--metrics-out PATH`` writes the merged fleet-wide metrics registry as
-JSON at exit.  Every flag's default comes from the corresponding
-``EVAL_REPRO_*`` environment variable (see :mod:`repro.config`).
+JSON at exit.  ``--service HOST:PORT`` delegates the ladder targets to a
+running campaign daemon (``python -m repro.serve daemon``) instead of
+computing them in-process.  Every flag's default comes from the
+corresponding ``EVAL_REPRO_*`` environment variable (see
+:mod:`repro.config`).
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ import sys
 
 import numpy as np
 
-from .. import obs
+from .. import __version__, obs
 from ..config import Settings
 from .area_table import area_rows, run_area_table
 from .fig1_paths import run_fig1
@@ -66,7 +69,17 @@ def main(argv=None) -> int:
         prog="python -m repro.exps",
         description="Regenerate EVAL paper figures/tables.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     parser.add_argument("targets", nargs="+", choices=ALL_TARGETS + ["all"])
+    parser.add_argument(
+        "--service",
+        default=env_defaults.service_addr,
+        metavar="HOST:PORT",
+        help="delegate the ladder targets (fig10-12) to a running "
+             "campaign daemon (default: $EVAL_REPRO_SERVICE)",
+    )
     parser.add_argument("--chips", type=int, default=env_defaults.chips)
     parser.add_argument("--cores", type=int, default=env_defaults.cores)
     parser.add_argument(
@@ -103,7 +116,12 @@ def main(argv=None) -> int:
         print(f"\n=== {target} ===")
         if target in LADDER_TARGETS:
             if ladder is None:
-                ladder = run_ladder(get_runner(), settings=settings)
+                if settings.service_addr:
+                    from ..serve import run_ladder_remote
+
+                    ladder = run_ladder_remote(settings.service_addr)
+                else:
+                    ladder = run_ladder(get_runner(), settings=settings)
             _print_ladder(ladder, target)
         elif target == "fig1":
             result = run_fig1()

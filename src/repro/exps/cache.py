@@ -135,6 +135,18 @@ def bank_key(
     })
 
 
+def unit_key(cell_key: str, chip_index: int, core_index: int) -> str:
+    """Derive one (chip, core) unit's coalescing key from its cell's key.
+
+    The campaign service decomposes a :class:`~repro.exps.engine.RunSpec`
+    into (environment, mode, chip, core) units; two jobs whose cells share
+    a :func:`summary_key` therefore share every unit key, which is what
+    lets the in-flight registry compute each unit exactly once across
+    concurrent submissions.
+    """
+    return f"{cell_key}-{chip_index}-{core_index}"
+
+
 def summary_key(
     calib: Calibration,
     runner_config: Any,
@@ -222,22 +234,50 @@ class ExperimentCache:
         obs.inc("cache.bytes_written", float(path.stat().st_size))
         log.debug("wrote %s artifact %s", kind, path.name)
 
+    def _load_guarded(self, kind: str, path: Path, parse):
+        """Load one artifact; a corrupt/truncated file is a miss.
+
+        A crash mid-write can't leave a torn file (writes are atomic), but
+        disks fill, copies truncate, and formats drift — any parse failure
+        deletes the bad artifact, bumps ``cache.corrupt``, and reports a
+        miss so the caller simply recomputes instead of dying.
+        """
+        if not path.exists():
+            self.stats.record(kind, hit=False)
+            return None
+        try:
+            value = parse(path)
+        except Exception as exc:
+            log.warning(
+                "corrupt %s artifact %s (%s); dropping it and recomputing",
+                kind, path.name, exc,
+            )
+            obs.inc("cache.corrupt")
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing deleters
+                pass
+            self.stats.record(kind, hit=False)
+            return None
+        self.stats.record(kind, hit=True)
+        return value
+
     # -- measurements ---------------------------------------------------
     def load_measurement(self, key: str) -> Optional[WorkloadMeasurement]:
         """Return a cached measurement, or ``None`` on a miss."""
-        path = self._path("measurements", key, ".npz")
-        if not path.exists():
-            self.stats.record("measurement", hit=False)
-            return None
-        with np.load(path) as archive:
-            meta = json.loads(bytes(archive["__meta__"]).decode())
-            measurement = WorkloadMeasurement(
-                activity=archive["activity"],
-                rho=archive["rho"],
-                **meta,
-            )
-        self.stats.record("measurement", hit=True)
-        return measurement
+
+        def parse(path: Path) -> WorkloadMeasurement:
+            with np.load(path) as archive:
+                meta = json.loads(bytes(archive["__meta__"]).decode())
+                return WorkloadMeasurement(
+                    activity=archive["activity"],
+                    rho=archive["rho"],
+                    **meta,
+                )
+
+        return self._load_guarded(
+            "measurement", self._path("measurements", key, ".npz"), parse
+        )
 
     def save_measurement(self, key: str, meas: WorkloadMeasurement) -> None:
         """Store one measurement (arrays binary, scalars as JSON)."""
@@ -260,13 +300,9 @@ class ExperimentCache:
     # -- controller banks -----------------------------------------------
     def load_bank(self, key: str) -> Optional[ControllerBank]:
         """Return a cached trained bank, or ``None`` on a miss."""
-        path = self._path("banks", key, ".npz")
-        if not path.exists():
-            self.stats.record("bank", hit=False)
-            return None
-        bank = load_bank(path)
-        self.stats.record("bank", hit=True)
-        return bank
+        return self._load_guarded(
+            "bank", self._path("banks", key, ".npz"), load_bank
+        )
 
     def save_bank(self, key: str, bank: ControllerBank) -> None:
         """Store one trained bank through :mod:`repro.ml.persistence`."""
@@ -280,13 +316,11 @@ class ExperimentCache:
         """Return a cached :class:`SuiteSummary`, or ``None`` on a miss."""
         from .runner import SuiteSummary  # runner imports this module
 
-        path = self._path("summaries", key, ".json")
-        if not path.exists():
-            self.stats.record("summary", hit=False)
-            return None
-        summary = SuiteSummary.from_json(path.read_text())
-        self.stats.record("summary", hit=True)
-        return summary
+        return self._load_guarded(
+            "summary",
+            self._path("summaries", key, ".json"),
+            lambda path: SuiteSummary.from_json(path.read_text()),
+        )
 
     def save_summary(self, key: str, summary) -> None:
         """Store one suite summary in the shared JSON wire format."""

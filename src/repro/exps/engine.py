@@ -38,6 +38,79 @@ from .cache import ExperimentCache, summary_key
 log = logging.getLogger("repro.exps.engine")
 
 
+class UnitExecutionError(RuntimeError):
+    """One (environment, mode, chip, core) unit of work failed.
+
+    Raised instead of the worker's bare traceback so every consumer — the
+    serial loop, the process-pool path, and the campaign service's
+    supervised scheduler — sees *which* unit died.  The original
+    exception rides along as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        env_name: str,
+        mode_value: str,
+        chip_index: int,
+        core_index: int,
+        cause: Optional[BaseException] = None,
+    ):
+        self.env_name = env_name
+        self.mode_value = mode_value
+        self.chip_index = chip_index
+        self.core_index = core_index
+        detail = f": {cause!r}" if cause is not None else ""
+        super().__init__(
+            f"unit (env={env_name}, mode={mode_value}, chip={chip_index}, "
+            f"core={core_index}) failed{detail}"
+        )
+
+    @property
+    def unit(self) -> Tuple[str, str, int, int]:
+        """The failing unit's identity, as plain JSON-safe values."""
+        return (self.env_name, self.mode_value, self.chip_index, self.core_index)
+
+
+def iter_units(
+    cells: Sequence[Tuple[Environment, AdaptationMode]],
+    n_chips: int,
+    cores_per_chip: int,
+):
+    """Yield the (env, mode, chip, core) units of a campaign, in order.
+
+    This is the resumable decomposition shared by the process-pool path
+    and the campaign service: summaries are reassembled by concatenating
+    unit rows in exactly this order, which is what keeps parallel — and
+    service-coalesced — results bit-identical to the serial loop.
+    """
+    for env, mode in cells:
+        for chip_index in range(n_chips):
+            for core_index in range(cores_per_chip):
+                yield (env, mode, chip_index, core_index)
+
+
+def run_unit_guarded(
+    runner,
+    env: Environment,
+    mode: AdaptationMode,
+    chip_index: int,
+    core_index: int,
+    workloads=None,
+    bank=None,
+):
+    """``runner.run_unit`` with failures wrapped in :class:`UnitExecutionError`."""
+    try:
+        return runner.run_unit(
+            env, mode, chip_index, core_index, workloads, bank=bank
+        )
+    except UnitExecutionError:
+        raise
+    except Exception as exc:
+        raise UnitExecutionError(
+            env.name, mode.value, chip_index, core_index, cause=exc
+        ) from exc
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One experiment campaign: a grid of (environment, mode) cells.
@@ -244,17 +317,19 @@ def execute(runner, spec: RunSpec) -> RunResult:
                     runner, spec, pending, workloads, cache, campaign
                 )
             else:
-                computed = {}
-                for env, mode, _ in pending:
-                    rows: List[PhaseResult] = []
-                    for chip_index in range(runner.config.n_chips):
-                        for core_index in range(runner.config.cores_per_chip):
-                            rows.extend(
-                                runner.run_unit(
-                                    env, mode, chip_index, core_index, workloads
-                                )
-                            )
-                    computed[(env.name, mode.value)] = summarise(rows)
+                per_cell: Dict[Tuple[str, str], List[PhaseResult]] = {}
+                for env, mode, chip_index, core_index in iter_units(
+                    [(env, mode) for env, mode, _ in pending],
+                    runner.config.n_chips,
+                    runner.config.cores_per_chip,
+                ):
+                    rows = run_unit_guarded(
+                        runner, env, mode, chip_index, core_index, workloads
+                    )
+                    per_cell.setdefault((env.name, mode.value), []).extend(rows)
+                computed = {
+                    cell: summarise(rows) for cell, rows in per_cell.items()
+                }
             elapsed = time.perf_counter() - start
             obs.inc("engine.compute_seconds", elapsed)
             if elapsed > 0.0:
@@ -280,6 +355,77 @@ def execute(runner, spec: RunSpec) -> RunResult:
     return result
 
 
+class SupervisedExecutor:
+    """A supervised process pool executing campaign units.
+
+    Owns a :class:`~concurrent.futures.ProcessPoolExecutor` whose workers
+    are initialised from a runner's light specs (:func:`_init_worker`),
+    submits ``_run_unit`` shards, and reassembles results in submission
+    order.  A worker exception is re-raised as
+    :class:`UnitExecutionError` carrying the failing unit's identity
+    instead of a bare pool traceback; worker metric deltas are merged
+    into the campaign registry so ``--jobs N`` totals stay fleet-wide.
+    """
+
+    def __init__(
+        self,
+        runner,
+        workloads: Sequence[WorkloadProfile],
+        cache: Optional[ExperimentCache],
+        transport: ExperimentCache,
+        max_workers: int,
+    ):
+        self._pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(
+                runner.config,
+                runner.calib,
+                runner.core_config,
+                tuple(workloads),
+                str(cache.root) if cache is not None else None,
+                str(transport.root),
+                obs.enabled(),
+            ),
+        )
+
+    def __enter__(self) -> "SupervisedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        self._pool.shutdown()
+
+    def run_units(
+        self,
+        units: Sequence[Tuple[Environment, AdaptationMode, int, int]],
+        campaign: obs.MetricsRegistry,
+    ) -> List[List["PhaseResult"]]:
+        """Execute units concurrently; return each unit's rows, in order."""
+        from .runner import PhaseResult
+
+        futures = {
+            self._pool.submit(_run_unit, *unit): index
+            for index, unit in enumerate(units)
+        }
+        unit_rows: List[Optional[List[PhaseResult]]] = [None] * len(units)
+        for future, index in futures.items():
+            env, mode, chip_index, core_index = units[index]
+            try:
+                records, metrics_delta = future.result()
+            except Exception as exc:
+                raise UnitExecutionError(
+                    env.name, mode.value, chip_index, core_index, cause=exc
+                ) from exc
+            unit_rows[index] = [
+                PhaseResult.from_dict(record) for record in records
+            ]
+            campaign.merge_dict(metrics_delta)
+        return unit_rows
+
+
 def _execute_parallel(
     runner,
     spec: RunSpec,
@@ -288,8 +434,8 @@ def _execute_parallel(
     cache: Optional[ExperimentCache],
     campaign: obs.MetricsRegistry,
 ) -> Dict[Tuple[str, str], "SuiteSummary"]:
-    """Shard pending cells over a process pool; reassemble in order."""
-    from .runner import PhaseResult, summarise
+    """Shard pending cells over a supervised pool; reassemble in order."""
+    from .runner import summarise
 
     # Banks must reach the workers; they are far too heavy for the pipe,
     # so they travel through the disk cache (an ephemeral one if needed).
@@ -303,48 +449,24 @@ def _execute_parallel(
             if mode is AdaptationMode.FUZZY_DYN:
                 runner.bank_for(env, cache=transport)
 
-        units = [
-            (env, mode, chip_index, core_index)
-            for env, mode, _ in pending
-            for chip_index in range(runner.config.n_chips)
-            for core_index in range(runner.config.cores_per_chip)
-        ]
+        units = list(iter_units(
+            [(env, mode) for env, mode, _ in pending],
+            runner.config.n_chips,
+            runner.config.cores_per_chip,
+        ))
         # Honour the requested parallelism (the caller knows the machine);
         # never spin up more workers than there are units to run.
         max_workers = min(spec.parallelism, len(units))
         log.debug("sharding %d units across %d workers", len(units), max_workers)
-        unit_rows: List[Optional[List[PhaseResult]]] = [None] * len(units)
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_init_worker,
-            initargs=(
-                runner.config,
-                runner.calib,
-                runner.core_config,
-                tuple(workloads),
-                str(cache.root) if cache is not None else None,
-                str(transport.root),
-                obs.enabled(),
-            ),
+        with SupervisedExecutor(
+            runner, workloads, cache, transport, max_workers
         ) as pool:
-            futures = {
-                pool.submit(_run_unit, *unit): index
-                for index, unit in enumerate(units)
-            }
-            for future in futures:
-                records, metrics_delta = future.result()
-                unit_rows[futures[future]] = [
-                    PhaseResult.from_dict(record) for record in records
-                ]
-                campaign.merge_dict(metrics_delta)
+            unit_rows = pool.run_units(units, campaign)
 
-        computed: Dict[Tuple[str, str], "SuiteSummary"] = {}
-        per_cell: Dict[Tuple[str, str], List[PhaseResult]] = {}
+        per_cell: Dict[Tuple[str, str], List["PhaseResult"]] = {}
         for (env, mode, _chip, _core), rows in zip(units, unit_rows):
             per_cell.setdefault((env.name, mode.value), []).extend(rows)
-        for cell, rows in per_cell.items():
-            computed[cell] = summarise(rows)
-        return computed
+        return {cell: summarise(rows) for cell, rows in per_cell.items()}
     finally:
         if ephemeral is not None:
             ephemeral.cleanup()

@@ -160,13 +160,29 @@ class MetricsRegistry:
         return bool(self.counters or self.gauges or self.histograms)
 
     # -- wire format ----------------------------------------------------
-    def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe snapshot: the ``--metrics-out`` document."""
+    def to_dict(self, prefix: Optional[str] = None) -> Dict[str, Any]:
+        """JSON-safe snapshot: the ``--metrics-out`` document.
+
+        ``prefix`` restricts the snapshot to metrics whose name starts
+        with it — how the campaign service carves one job's gauges
+        (``serve.job.<id>.``) out of the shared registry for progress
+        snapshots.
+        """
+
+        def keep(name: str) -> bool:
+            return prefix is None or name.startswith(prefix)
+
         return {
-            "counters": {n: c.value for n, c in sorted(self.counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "counters": {
+                n: c.value for n, c in sorted(self.counters.items()) if keep(n)
+            },
+            "gauges": {
+                n: g.value for n, g in sorted(self.gauges.items()) if keep(n)
+            },
             "histograms": {
-                n: h.summary() for n, h in sorted(self.histograms.items())
+                n: h.summary()
+                for n, h in sorted(self.histograms.items())
+                if keep(n)
             },
         }
 

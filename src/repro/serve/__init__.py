@@ -1,0 +1,73 @@
+"""``repro.serve`` — the asynchronous campaign service.
+
+Turns the in-process ``ExperimentRunner.run(spec)`` API into a
+multi-tenant service: submissions enter a priority job queue, decompose
+into (environment, mode, chip, core) cells, coalesce against concurrent
+jobs through the artifact cache's content-addressed keys, and run on a
+supervised worker pool with per-unit retry/backoff, wall-clock budgets,
+and graceful degradation (a poisoned cell fails its job with a
+structured report; the service keeps serving everyone else).
+
+Three front doors:
+
+* In process — :class:`CampaignService` + :class:`Client`.
+* Over a socket — ``python -m repro.serve daemon`` and
+  :class:`ServiceClient`, speaking the JSON-lines protocol of
+  :mod:`repro.serve.protocol`.
+* Batch — ``python -m repro.exps fig10 --service HOST:PORT`` delegates
+  the ladder to a running daemon (:func:`run_ladder_remote`).
+"""
+
+from .batch import run_ladder_remote
+from .client import Client
+from .coalesce import CellTask, InFlightRegistry, UnitTask, build_cell
+from .daemon import DEFAULT_ADDRESS, ServiceClient, ServiceDaemon, parse_address
+from .jobs import CellFailure, Job, JobState
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    spec_from_wire,
+    spec_to_wire,
+    summaries_from_wire,
+    summaries_to_wire,
+)
+from .scheduler import CellScheduler, RetryPolicy, UnitTimeoutError
+from .service import (
+    CampaignService,
+    JobCancelledError,
+    JobFailedError,
+    ServiceBusyError,
+    ServiceError,
+    UnknownJobError,
+)
+
+__all__ = [
+    "CampaignService",
+    "CellFailure",
+    "CellScheduler",
+    "CellTask",
+    "Client",
+    "DEFAULT_ADDRESS",
+    "InFlightRegistry",
+    "Job",
+    "JobCancelledError",
+    "JobFailedError",
+    "JobState",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RetryPolicy",
+    "ServiceBusyError",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "UnitTask",
+    "UnitTimeoutError",
+    "UnknownJobError",
+    "build_cell",
+    "parse_address",
+    "run_ladder_remote",
+    "spec_from_wire",
+    "spec_to_wire",
+    "summaries_from_wire",
+    "summaries_to_wire",
+]

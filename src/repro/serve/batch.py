@@ -1,0 +1,62 @@
+"""Batch delegation: run existing drivers through a remote daemon.
+
+The ``python -m repro.exps`` CLI calls :func:`run_ladder_remote` when
+``--service ADDR`` is set, so the Figures 10-12 grid is computed by the
+shared daemon — coalesced with whatever other clients are asking for —
+instead of in-process.  The returned :class:`LadderResult` is built from
+the daemon's wire summaries and renders through the same reporting path
+as a local run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.environments import (
+    ADAPTIVE_ENVIRONMENTS,
+    BASELINE,
+    NOVAR,
+    AdaptationMode,
+    Environment,
+)
+from ..exps.engine import RunSpec
+from ..exps.ladder import MODES, LadderResult
+from .daemon import ServiceClient
+from .protocol import summaries_from_wire
+
+
+def run_ladder_remote(
+    address: str,
+    environments: Optional[Sequence[Environment]] = None,
+    modes: Sequence[AdaptationMode] = MODES,
+    timeout: Optional[float] = None,
+) -> LadderResult:
+    """The Figures 10-12 grid, computed by the daemon at ``address``.
+
+    Submits the adaptive grid and the Baseline/NoVar anchors as two jobs
+    (the daemon coalesces any overlap with concurrent clients) and blocks
+    until both finish.
+    """
+    environments = (
+        list(environments)
+        if environments is not None
+        else list(ADAPTIVE_ENVIRONMENTS)
+    )
+    client = ServiceClient(address)
+    grid_job = client.submit(
+        RunSpec(environments=tuple(environments), modes=tuple(modes))
+    )
+    anchor_job = client.submit(
+        RunSpec(environments=(BASELINE, NOVAR), modes=(AdaptationMode.EXH_DYN,))
+    )
+    grid = summaries_from_wire(client.result(grid_job, timeout=timeout)["cells"])
+    anchors = summaries_from_wire(
+        client.result(anchor_job, timeout=timeout)["cells"]
+    )
+    result = LadderResult(
+        baseline=anchors[(BASELINE.name, AdaptationMode.EXH_DYN.value)],
+        novar=anchors[(NOVAR.name, AdaptationMode.EXH_DYN.value)],
+        environments=environments,
+    )
+    result.entries.update(grid)
+    return result

@@ -1,0 +1,50 @@
+"""In-process client façade over a :class:`CampaignService`.
+
+Mirrors the socket client's surface (:class:`repro.serve.daemon.
+ServiceClient`) so call sites can swap an in-process service for a remote
+daemon without changing shape::
+
+    with CampaignService(runner) as service:
+        client = Client(service)
+        job = client.submit(RunSpec(environments=(TS,)))
+        print(client.status(job)["cells"])
+        result = client.result(job, timeout=600)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..exps.engine import RunResult, RunSpec
+from .service import CampaignService
+
+
+class Client:
+    """Submit/status/result/cancel against an in-process service."""
+
+    def __init__(self, service: CampaignService):
+        self._service = service
+
+    def submit(self, spec: RunSpec, priority: int = 0) -> str:
+        """Submit a campaign; returns its job id immediately."""
+        return self._service.submit(spec, priority=priority)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """A JSON-safe progress snapshot."""
+        return self._service.status(job_id)
+
+    def progress(self, job_id: str) -> Dict[str, Any]:
+        """Status plus the job's slice of the obs metrics registry."""
+        return self._service.progress(job_id)
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> RunResult:
+        """Block for the finished :class:`RunResult` (see service docs)."""
+        return self._service.result(job_id, timeout=timeout)
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a live job."""
+        return self._service.cancel(job_id)
+
+    def ping(self) -> Dict[str, Any]:
+        """The service-level stats snapshot."""
+        return self._service.stats()

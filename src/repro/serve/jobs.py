@@ -1,0 +1,113 @@
+"""Job bookkeeping for the campaign service.
+
+A *job* is one accepted :class:`~repro.exps.engine.RunSpec` submission.
+The service decomposes it into (environment, mode) cells — shared,
+coalescable :class:`~repro.serve.coalesce.CellTask` objects — and the job
+tracks which of its cells have been delivered.  Jobs never own work:
+cells do, and a cell delivers its summary to every job following it.
+
+Failure is structured: a poisoned cell produces a :class:`CellFailure`
+report (unit identity, attempt count, error text) that is attached to
+every following job instead of tearing the service down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..exps.engine import RunSpec
+from ..exps.runner import SuiteSummary
+
+
+class JobState(Enum):
+    """Lifecycle of one submission."""
+
+    QUEUED = "queued"  # accepted, no unit started yet
+    RUNNING = "running"  # at least one unit claimed by a worker
+    DONE = "done"  # every cell delivered
+    FAILED = "failed"  # a poisoned cell failed this job
+    CANCELLED = "cancelled"  # withdrawn by the client
+
+
+#: States in which a job still counts against the admission limit.
+LIVE_STATES = (JobState.QUEUED, JobState.RUNNING)
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Structured error report for one poisoned cell.
+
+    Carries the identity of the unit that exhausted the retry budget —
+    not a worker traceback — so a client can tell *which* (environment,
+    mode, chip, core) is poisoned and resubmit around it.
+    """
+
+    environment: str
+    mode: str
+    chip_index: int
+    core_index: int
+    attempts: int
+    error: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-safe record (the wire/report format)."""
+        return {
+            "environment": self.environment,
+            "mode": self.mode,
+            "chip_index": self.chip_index,
+            "core_index": self.core_index,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "CellFailure":
+        return cls(**record)
+
+
+@dataclass
+class Job:
+    """One accepted submission and its delivery state."""
+
+    job_id: str
+    spec: RunSpec
+    priority: int
+    created: float = field(default_factory=time.time)
+    state: JobState = JobState.QUEUED
+    #: Cells this job is waiting on, keyed (env name, mode value).
+    pending_cells: int = 0
+    cells_total: int = 0
+    cells_cached: int = 0
+    cells_coalesced: int = 0
+    summaries: Dict[Tuple[str, str], SuiteSummary] = field(default_factory=dict)
+    failures: List[CellFailure] = field(default_factory=list)
+    finished: Optional[float] = None
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    def finish(self, state: JobState) -> None:
+        """Move to a terminal state and wake every waiter."""
+        self.state = state
+        self.finished = time.time()
+        self.done_event.set()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe progress snapshot (the ``status`` wire payload)."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "priority": self.priority,
+            "cells": {
+                "total": self.cells_total,
+                "done": len(self.summaries),
+                "pending": self.pending_cells,
+                "cached": self.cells_cached,
+                "coalesced": self.cells_coalesced,
+            },
+            "failures": [failure.to_dict() for failure in self.failures],
+            "created": self.created,
+            "finished": self.finished,
+        }

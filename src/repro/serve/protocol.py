@@ -1,0 +1,139 @@
+"""JSON-lines wire protocol shared by the daemon and its clients.
+
+One request, one response, one line of JSON each::
+
+    -> {"op": "submit", "spec": {"environments": ["TS"], ...}, "priority": 0}
+    <- {"ok": true, "job_id": "job-1"}
+    -> {"op": "status", "job_id": "job-1"}
+    <- {"ok": true, "state": "running", "cells": {...}, ...}
+
+Specs cross the wire by *name*: environments by their Table 1 names
+(:func:`repro.core.environments.by_name`), modes by their
+:class:`~repro.core.environments.AdaptationMode` values, workloads by
+their suite names.  Custom in-memory :class:`Environment` objects cannot
+be submitted remotely — that is the price of a content-addressed,
+language-neutral wire format.  Engine-level spec fields (``parallelism``,
+``cache_dir``, ``use_cache``) are intentionally absent: server-side
+policy governs them.
+
+Suite summaries ride the existing :meth:`SuiteSummary.to_json` wire
+format, nested per cell, so a socket result is rebuilt bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.environments import AdaptationMode, by_name
+from ..exps.engine import RunSpec
+from ..exps.runner import SuiteSummary
+from ..microarch.workloads import WorkloadProfile, spec2000_like_suite
+
+#: Bumped on breaking wire-format changes; daemons reject mismatches.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A request/response line that cannot be decoded or resolved."""
+
+
+# ----------------------------------------------------------------------
+# Specs.
+# ----------------------------------------------------------------------
+def spec_to_wire(spec: RunSpec) -> Dict[str, Any]:
+    """Encode a :class:`RunSpec` as JSON-safe names."""
+    return {
+        "environments": [env.name for env in spec.environments],
+        "modes": [mode.value for mode in spec.modes],
+        "workloads": (
+            [w.name for w in spec.workloads]
+            if spec.workloads is not None
+            else None
+        ),
+    }
+
+
+def spec_from_wire(
+    doc: Dict[str, Any],
+    suite: Optional[Sequence[WorkloadProfile]] = None,
+) -> RunSpec:
+    """Resolve a wire spec back to a :class:`RunSpec`.
+
+    ``suite`` is the workload universe names resolve against (default:
+    the SPEC-2000-like suite).  Unknown names raise
+    :class:`ProtocolError` so the daemon can answer with a structured
+    error instead of dying mid-decode.
+    """
+    try:
+        environments = tuple(by_name(n) for n in doc["environments"])
+        modes = tuple(AdaptationMode(v) for v in doc.get("modes") or ["Exh-Dyn"])
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"bad spec: {exc}") from exc
+    workloads = None
+    names = doc.get("workloads")
+    if names is not None:
+        pool = {w.name: w for w in (suite or spec2000_like_suite())}
+        missing = [n for n in names if n not in pool]
+        if missing:
+            raise ProtocolError(f"unknown workloads: {missing}")
+        workloads = tuple(pool[n] for n in names)
+    return RunSpec(environments=environments, modes=modes, workloads=workloads)
+
+
+# ----------------------------------------------------------------------
+# Results.
+# ----------------------------------------------------------------------
+def summaries_to_wire(
+    summaries: Dict[Tuple[str, str], SuiteSummary],
+) -> List[Dict[str, Any]]:
+    """Encode a result's cell map as a list of tagged summary documents."""
+    return [
+        {
+            "environment": env_name,
+            "mode": mode_value,
+            "summary": json.loads(summary.to_json()),
+        }
+        for (env_name, mode_value), summary in sorted(summaries.items())
+    ]
+
+
+def summaries_from_wire(
+    cells: List[Dict[str, Any]],
+) -> Dict[Tuple[str, str], SuiteSummary]:
+    """Rebuild the cell map (floats round-trip bit-identically)."""
+    return {
+        (cell["environment"], cell["mode"]): SuiteSummary.from_json(
+            json.dumps(cell["summary"])
+        )
+        for cell in cells
+    }
+
+
+# ----------------------------------------------------------------------
+# Framing.
+# ----------------------------------------------------------------------
+def encode_line(doc: Dict[str, Any]) -> bytes:
+    """One JSON document, newline-framed."""
+    return (json.dumps(doc) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one frame; anything but a JSON object is a protocol error."""
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError(f"frame is not an object: {doc!r}")
+    return doc
+
+
+def ok(**payload: Any) -> Dict[str, Any]:
+    """A success response envelope."""
+    return {"ok": True, **payload}
+
+
+def error(message: str, **payload: Any) -> Dict[str, Any]:
+    """A failure response envelope (the daemon never sends tracebacks)."""
+    return {"ok": False, "error": message, **payload}

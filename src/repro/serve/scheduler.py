@@ -1,0 +1,174 @@
+"""Fault-tolerant unit scheduler: a supervised, prioritised worker pool.
+
+Worker threads pop (priority, sequence) unit tasks off a shared
+:class:`queue.PriorityQueue` and run them through a caller-supplied
+execute function under a :class:`RetryPolicy`: a failed attempt is
+retried with exponential backoff up to the configured budget, an attempt
+that overruns the per-unit wall-clock budget counts as a failure, and a
+unit that exhausts its budget is reported to the failure callback — the
+worker moves on to the next task instead of dying.  Callback exceptions
+are logged and swallowed for the same reason: the pool must outlive any
+single poisoned unit.
+
+Threads (not processes) carry the service's concurrency: units spend
+their time inside numpy, the task objects are shared by reference with
+the coalescing layer, and a daemon restart is cheap.  ``--jobs`` style
+process sharding stays the engine's business
+(:class:`repro.exps.engine.SupervisedExecutor`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .. import obs
+
+log = logging.getLogger("repro.serve.scheduler")
+
+#: Queue entries sort by (-priority, sequence): higher priority first,
+#: FIFO within a priority band.
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-unit supervision knobs.
+
+    Attributes:
+        retries: Extra attempts after the first failure; ``0`` fails fast.
+        backoff: Sleep before attempt *n+1*, doubling each retry.
+        timeout: Wall-clock budget per attempt, in seconds.  Threads
+            cannot be preempted, so the budget is enforced *post hoc*: an
+            attempt that finishes over budget is discarded and counts as
+            a failure (and so consumes retry budget) — the graceful-
+            degradation signal that a cell is too slow for the service's
+            configuration.
+    """
+
+    retries: int = 1
+    backoff: float = 0.05
+    timeout: Optional[float] = None
+
+
+class UnitTimeoutError(RuntimeError):
+    """An attempt finished, but over the configured wall-clock budget."""
+
+
+class CellScheduler:
+    """N worker threads draining a priority queue of unit tasks."""
+
+    def __init__(
+        self,
+        execute: Callable[[Any], Any],
+        *,
+        workers: int = 2,
+        policy: RetryPolicy = RetryPolicy(),
+        on_done: Callable[[Any, Any, int], None],
+        on_failed: Callable[[Any, BaseException, int], None],
+        claim: Optional[Callable[[Any], bool]] = None,
+    ):
+        """Args:
+            execute: Runs one unit task, returning its result.
+            workers: Worker-thread count.
+            policy: Retry/backoff/timeout supervision knobs.
+            on_done: ``(item, result, attempts)`` success callback.
+            on_failed: ``(item, error, attempts)`` exhausted-budget callback.
+            claim: Optional predicate consulted when an item is popped;
+                returning ``False`` drops it (a cancelled/abandoned cell).
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._execute = execute
+        self._workers = workers
+        self._policy = policy
+        self._on_done = on_done
+        self._on_failed = on_failed
+        self._claim = claim
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._seq = itertools.count()
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._threads:
+            return
+        for index in range(self._workers):
+            thread = threading.Thread(
+                target=self._loop, name=f"serve-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop workers after their current unit; pending tasks are dropped."""
+        for _ in self._threads:
+            # Sentinels sort behind nothing that matters: workers exit as
+            # soon as they reach one.
+            self._queue.put((float("inf"), next(self._seq), _SENTINEL))
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self._threads.clear()
+
+    def submit(self, priority: int, item: Any) -> None:
+        """Enqueue one unit task; higher priority runs first."""
+        self._queue.put((-priority, next(self._seq), item))
+        obs.set_gauge("serve.queue_depth", self._queue.qsize())
+
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Worker loop + supervision.
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            _, _, item = self._queue.get()
+            obs.set_gauge("serve.queue_depth", self._queue.qsize())
+            if item is _SENTINEL:
+                return
+            try:
+                if self._claim is not None and not self._claim(item):
+                    obs.inc("serve.units_skipped")
+                    continue
+                self._run_supervised(item)
+            except Exception:  # pragma: no cover - callback bug backstop
+                log.exception("scheduler callback failed; worker continues")
+
+    def _run_supervised(self, item: Any) -> None:
+        attempts = 0
+        while True:
+            attempts += 1
+            start = time.perf_counter()
+            error: BaseException
+            try:
+                result = self._execute(item)
+            except Exception as exc:
+                error = exc
+            else:
+                elapsed = time.perf_counter() - start
+                budget = self._policy.timeout
+                if budget is None or elapsed <= budget:
+                    obs.observe("serve.unit_seconds", elapsed)
+                    self._on_done(item, result, attempts)
+                    return
+                obs.inc("serve.unit_timeouts")
+                error = UnitTimeoutError(
+                    f"unit took {elapsed:.3f}s, budget {budget:.3f}s"
+                )
+            if attempts > self._policy.retries:
+                self._on_failed(item, error, attempts)
+                return
+            obs.inc("serve.retries")
+            log.warning(
+                "unit attempt %d/%d failed (%s); retrying",
+                attempts, self._policy.retries + 1, error,
+            )
+            time.sleep(self._policy.backoff * (2 ** (attempts - 1)))

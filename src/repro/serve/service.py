@@ -1,0 +1,429 @@
+"""The campaign service: submit/status/result/cancel over a shared runner.
+
+:class:`CampaignService` turns the in-process ``ExperimentRunner.run``
+API into an asynchronous, multi-tenant one.  A submission is decomposed
+into (environment, mode) cells addressed by the artifact cache's
+content-addressed :func:`~repro.exps.cache.summary_key`; cells already on
+disk are delivered immediately, cells currently being computed for
+another job are *followed* (request coalescing — each (chip, core) unit
+is computed exactly once no matter how many jobs want it), and the rest
+are decomposed into unit tasks and scheduled, by job priority, onto a
+supervised worker pool (:mod:`repro.serve.scheduler`).
+
+Failure is contained by construction: a unit that exhausts its retry
+budget poisons only its cell, the cell fails only the jobs following it
+(with a structured :class:`~repro.serve.jobs.CellFailure` report), and
+the pool keeps draining every other job's queue.  The service stays up.
+
+Server-side policy wins over spec fields: a submitted spec's
+``parallelism``, ``cache_dir`` and ``use_cache`` are ignored — the
+daemon's worker pool and cache are shared, configured once via
+:class:`repro.config.Settings` (``service_*`` knobs).
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..config import Settings
+from ..core.environments import AdaptationMode
+from ..exps.cache import ExperimentCache, summary_key
+from ..exps.engine import RunResult, RunSpec, run_unit_guarded
+from ..exps.runner import ExperimentRunner, summarise
+from .coalesce import NOVAR_CHIP, CellTask, InFlightRegistry, UnitTask, build_cell
+from .jobs import LIVE_STATES, CellFailure, Job, JobState
+from .scheduler import CellScheduler, RetryPolicy
+
+log = logging.getLogger("repro.serve.service")
+
+
+class ServiceError(RuntimeError):
+    """Base class for campaign-service request failures."""
+
+
+class ServiceBusyError(ServiceError):
+    """Admission control: the live-job limit is reached."""
+
+
+class UnknownJobError(ServiceError, KeyError):
+    """No job with the requested id."""
+
+
+class JobFailedError(ServiceError):
+    """The awaited job hit a poisoned cell; ``failures`` has the report."""
+
+    def __init__(self, job_id: str, failures: List[CellFailure]):
+        self.job_id = job_id
+        self.failures = list(failures)
+        detail = "; ".join(str(f.to_dict()) for f in failures)
+        super().__init__(f"{job_id} failed: {detail}")
+
+
+class JobCancelledError(ServiceError):
+    """The awaited job was cancelled."""
+
+
+class CampaignService:
+    """An async, coalescing, fault-tolerant front-end to one runner."""
+
+    def __init__(
+        self,
+        runner: Optional[ExperimentRunner] = None,
+        *,
+        settings: Optional[Settings] = None,
+        workers: Optional[int] = None,
+        policy: Optional[RetryPolicy] = None,
+        cache: Optional[ExperimentCache] = None,
+    ):
+        """Args:
+            runner: The shared experiment runner; built from ``settings``
+                scale knobs when omitted.
+            settings: Service knobs (worker width via ``jobs``, admission
+                limit, retry budget, per-unit timeout, cache).
+            workers: Worker-thread override (default: ``settings.jobs``).
+            policy: Retry-policy override (default: from ``settings``).
+            cache: Artifact-cache override (default: the runner's, else
+                ``settings.build_cache()``).
+        """
+        settings = settings if settings is not None else Settings()
+        if runner is None:
+            from ..exps.runner import RunnerConfig
+
+            runner = ExperimentRunner(
+                RunnerConfig(
+                    n_chips=settings.chips,
+                    cores_per_chip=settings.cores,
+                    fuzzy_examples=settings.fc_examples,
+                    seed=settings.seed,
+                ),
+                cache=settings.build_cache(),
+            )
+        self.runner = runner
+        self.cache = (
+            cache if cache is not None
+            else runner.cache if runner.cache is not None
+            else settings.build_cache()
+        )
+        self.max_jobs = settings.service_max_jobs
+        if policy is None:
+            policy = RetryPolicy(
+                retries=settings.service_retries,
+                timeout=settings.service_cell_timeout,
+            )
+        self._scheduler = CellScheduler(
+            self._execute_unit,
+            workers=workers if workers is not None else settings.jobs,
+            policy=policy,
+            on_done=self._on_unit_done,
+            on_failed=self._on_unit_failed,
+            claim=self._claim_unit,
+        )
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._job_cells: Dict[str, List[CellTask]] = {}
+        self._registry = InFlightRegistry()
+        self._ids = itertools.count(1)
+        self._bank_lock = threading.Lock()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> "CampaignService":
+        with self._lock:
+            if not self._started:
+                self._scheduler.start()
+                self._started = True
+        return self
+
+    def close(self) -> None:
+        with self._lock:
+            self._started = False
+        self._scheduler.stop()
+
+    def __enter__(self) -> "CampaignService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Client-facing API.
+    # ------------------------------------------------------------------
+    def submit(self, spec: RunSpec, priority: int = 0) -> str:
+        """Accept a campaign; returns a job id immediately.
+
+        Raises :class:`ServiceBusyError` when ``service_max_jobs`` jobs
+        are already live (admission control, not queueing — the priority
+        queue orders *units*, admission bounds *jobs*).
+        """
+        self.start()
+        with self._lock:
+            live = sum(
+                1 for job in self._jobs.values() if job.state in LIVE_STATES
+            )
+            if live >= self.max_jobs:
+                obs.inc("serve.jobs_rejected")
+                raise ServiceBusyError(
+                    f"{live} live jobs >= service_max_jobs={self.max_jobs}"
+                )
+            job = Job(
+                job_id=f"job-{next(self._ids)}", spec=spec, priority=priority
+            )
+            self._jobs[job.job_id] = job
+            self._job_cells[job.job_id] = []
+            obs.inc("serve.jobs_submitted")
+            self._admit(job)
+            if job.pending_cells == 0 and job.state in LIVE_STATES:
+                job.finish(JobState.DONE)
+                obs.inc("serve.jobs_completed")
+            self._update_job_gauges(job)
+            self._update_service_gauges()
+            log.info(
+                "%s: %d cells (%d cached, %d coalesced, %d scheduled)",
+                job.job_id, job.cells_total, job.cells_cached,
+                job.cells_coalesced,
+                job.cells_total - job.cells_cached - job.cells_coalesced,
+            )
+            return job.job_id
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """A JSON-safe progress snapshot for one job."""
+        with self._lock:
+            return self._get(job_id).snapshot()
+
+    def progress(self, job_id: str) -> Dict[str, Any]:
+        """The status snapshot plus this job's slice of the obs registry."""
+        with self._lock:
+            job = self._get(job_id)
+            return {
+                **job.snapshot(),
+                "metrics": obs.metrics_registry().to_dict(
+                    prefix=f"serve.job.{job.job_id}."
+                ),
+            }
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> RunResult:
+        """Block until a job finishes; return its :class:`RunResult`.
+
+        Raises :class:`TimeoutError` if the job is still running after
+        ``timeout`` seconds, :class:`JobFailedError` with the structured
+        cell reports if it hit a poisoned cell, and
+        :class:`JobCancelledError` if it was withdrawn.
+        """
+        with self._lock:
+            job = self._get(job_id)
+        if not job.done_event.wait(timeout):
+            raise TimeoutError(f"{job_id} still {job.state.value}")
+        if job.state is JobState.DONE:
+            return RunResult(spec=job.spec, summaries=dict(job.summaries))
+        if job.state is JobState.FAILED:
+            raise JobFailedError(job_id, job.failures)
+        raise JobCancelledError(f"{job_id} was cancelled")
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a live job; returns ``False`` if it already finished.
+
+        Units owned exclusively by this job are dropped when a worker
+        reaches them; units shared with other jobs keep running.
+        """
+        with self._lock:
+            job = self._get(job_id)
+            if job.state not in LIVE_STATES:
+                return False
+            job.finish(JobState.CANCELLED)
+            obs.inc("serve.jobs_cancelled")
+            self._detach(job)
+            self._update_job_gauges(job)
+            self._update_service_gauges()
+            return True
+
+    def stats(self) -> Dict[str, Any]:
+        """A service-level snapshot (the daemon's ``ping`` payload)."""
+        with self._lock:
+            states = {state.value: 0 for state in JobState}
+            for job in self._jobs.values():
+                states[job.state.value] += 1
+            return {
+                "jobs": states,
+                "queue_depth": self._scheduler.depth(),
+                "inflight_cells": len(self._registry),
+                "max_jobs": self.max_jobs,
+            }
+
+    # ------------------------------------------------------------------
+    # Admission: cache check, coalescing, decomposition.
+    # ------------------------------------------------------------------
+    def _admit(self, job: Job) -> None:
+        runner = self.runner
+        spec = job.spec
+        workloads = (
+            tuple(spec.workloads)
+            if spec.workloads is not None
+            else tuple(runner.workloads)
+        )
+        seen: set = set()
+        for env, mode in spec.pairs():
+            cell_id = (env.name, mode.value)
+            if cell_id in seen:
+                continue
+            seen.add(cell_id)
+            job.cells_total += 1
+            key = summary_key(
+                runner.calib, runner.config, runner.core_config, env, mode,
+                list(workloads),
+            )
+            if self.cache is not None:
+                cached = self.cache.load_summary(key)
+                if cached is not None:
+                    job.summaries[cell_id] = cached
+                    job.cells_cached += 1
+                    obs.inc("serve.cells_cached")
+                    continue
+            cell = self._registry.get(key)
+            if cell is not None:
+                # Coalesce: somebody is already computing exactly this
+                # cell; follow it instead of duplicating its units.
+                cell.followers.append(job)
+                self._job_cells[job.job_id].append(cell)
+                job.pending_cells += 1
+                job.cells_coalesced += 1
+                obs.inc("serve.cells_coalesced")
+                obs.inc("serve.units_coalesced", len(cell.units))
+                continue
+            cell = build_cell(
+                key, env, mode, workloads,
+                runner.config.n_chips, runner.config.cores_per_chip,
+            )
+            cell.followers.append(job)
+            self._job_cells[job.job_id].append(cell)
+            job.pending_cells += 1
+            self._registry.add(cell)
+            obs.inc("serve.units_scheduled", len(cell.units))
+            for unit in cell.units:
+                self._scheduler.submit(job.priority, (cell, unit))
+
+    # ------------------------------------------------------------------
+    # Scheduler callbacks (worker threads).
+    # ------------------------------------------------------------------
+    def _claim_unit(self, item: Tuple[CellTask, UnitTask]) -> bool:
+        cell, _unit = item
+        with self._lock:
+            if not cell.live:
+                return False
+            cell.started = True
+            for job in cell.followers:
+                if job.state is JobState.QUEUED:
+                    job.state = JobState.RUNNING
+            return True
+
+    def _execute_unit(self, item: Tuple[CellTask, UnitTask]):
+        cell, unit = item
+        if unit.chip_index == NOVAR_CHIP:
+            return self.runner.novar_summary(list(cell.workloads)).results
+        bank = None
+        if cell.mode is AdaptationMode.FUZZY_DYN:
+            # Serialise training so concurrent units of one environment
+            # share the runner's memoised bank instead of racing to train.
+            with self._bank_lock:
+                bank = self.runner.bank_for(cell.env)
+        return run_unit_guarded(
+            self.runner, cell.env, cell.mode, unit.chip_index,
+            unit.core_index, list(cell.workloads), bank=bank,
+        )
+
+    def _on_unit_done(self, item, rows, attempts: int) -> None:
+        cell, unit = item
+        with self._lock:
+            if not cell.live:
+                return
+            unit.rows = rows
+            unit.attempts = attempts
+            cell.pending_units -= 1
+            obs.inc("serve.units_done")
+            if cell.pending_units > 0:
+                return
+            # Last unit in: summarise in decomposition order (bit-identical
+            # to the serial engine), persist once, deliver to every follower.
+            summary = summarise(cell.rows_in_order())
+            cell.summary = summary
+            self._registry.finish(cell.key)
+            if self.cache is not None:
+                self.cache.save_summary(cell.key, summary)
+            for job in cell.followers:
+                if job.state not in LIVE_STATES:
+                    continue
+                job.summaries[cell.cell] = summary
+                job.pending_cells -= 1
+                if job.pending_cells == 0:
+                    job.finish(JobState.DONE)
+                    obs.inc("serve.jobs_completed")
+                self._update_job_gauges(job)
+            cell.followers.clear()
+            self._update_service_gauges()
+
+    def _on_unit_failed(self, item, error: BaseException, attempts: int) -> None:
+        cell, unit = item
+        with self._lock:
+            failure = CellFailure(
+                environment=cell.env.name,
+                mode=cell.mode.value,
+                chip_index=unit.chip_index,
+                core_index=unit.core_index,
+                attempts=attempts,
+                error=str(error),
+            )
+            log.error("poisoned cell %s: %s", cell.cell, failure.error)
+            cell.failure = failure
+            cell.live = False
+            self._registry.finish(cell.key)
+            obs.inc("serve.cells_poisoned")
+            for job in list(cell.followers):
+                if job.state not in LIVE_STATES:
+                    continue
+                job.failures.append(failure)
+                job.finish(JobState.FAILED)
+                obs.inc("serve.jobs_failed")
+                self._detach(job)
+                self._update_job_gauges(job)
+            cell.followers.clear()
+            self._update_service_gauges()
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+    def _get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        return job
+
+    def _detach(self, job: Job) -> None:
+        """Drop a finished job from its cells; abandon now-orphaned ones."""
+        for cell in self._job_cells.get(job.job_id, []):
+            if job in cell.followers:
+                cell.followers.remove(job)
+            if (
+                not cell.followers
+                and cell.summary is None
+                and cell.failure is None
+                and cell.live
+            ):
+                cell.live = False
+                self._registry.finish(cell.key)
+                obs.inc("serve.cells_abandoned")
+
+    def _update_job_gauges(self, job: Job) -> None:
+        prefix = f"serve.job.{job.job_id}"
+        obs.set_gauge(f"{prefix}.cells_total", job.cells_total)
+        obs.set_gauge(f"{prefix}.cells_done", len(job.summaries))
+        obs.set_gauge(f"{prefix}.cells_pending", job.pending_cells)
+
+    def _update_service_gauges(self) -> None:
+        live = sum(1 for job in self._jobs.values() if job.state in LIVE_STATES)
+        obs.set_gauge("serve.active_jobs", live)
+        obs.set_gauge("serve.inflight_cells", len(self._registry))

@@ -54,3 +54,22 @@ class TestCLISettings:
         assert main(["area", "--metrics-out", str(flag_path)]) == 0
         capsys.readouterr()
         assert flag_path.exists() and not env_path.exists()
+
+
+class TestVersion:
+    def test_exps_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_serve_version(self, capsys):
+        from repro import __version__
+        from repro.serve.__main__ import main as serve_main
+
+        with pytest.raises(SystemExit) as excinfo:
+            serve_main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out

@@ -110,3 +110,70 @@ class TestApplication:
             assert logging.getLogger("repro").level == logging.DEBUG
         finally:
             Settings().configure()  # restore the WARNING default
+
+
+class TestServiceKnobs:
+    def test_defaults(self):
+        cfg = Settings()
+        assert cfg.service_addr is None
+        assert cfg.service_max_jobs == 8
+        assert cfg.service_retries == 1
+        assert cfg.service_cell_timeout is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Settings(service_max_jobs=0)
+        with pytest.raises(ValueError):
+            Settings(service_retries=-1)
+        with pytest.raises(ValueError):
+            Settings(service_cell_timeout=0.0)
+        assert Settings(service_retries=0).service_retries == 0
+
+    def test_from_env(self):
+        cfg = Settings.from_env({
+            "EVAL_REPRO_SERVICE": "127.0.0.1:9000",
+            "EVAL_REPRO_SERVICE_MAX_JOBS": "3",
+            "EVAL_REPRO_SERVICE_RETRIES": "5",
+            "EVAL_REPRO_SERVICE_TIMEOUT": "2.5",
+        })
+        assert cfg.service_addr == "127.0.0.1:9000"
+        assert cfg.service_max_jobs == 3
+        assert cfg.service_retries == 5
+        assert cfg.service_cell_timeout == 2.5
+
+    def test_empty_env_keeps_service_defaults(self):
+        cfg = Settings.from_env({"EVAL_REPRO_SERVICE_TIMEOUT": ""})
+        assert cfg.service_cell_timeout is None
+        assert cfg.service_addr is None
+
+    def _parse(self, argv, env=None):
+        base = Settings.from_env(env or {})
+        parser = argparse.ArgumentParser()
+        # Mirrors the CLIs: clients register --service themselves, the
+        # shared policy flags come from add_service_arguments.
+        parser.add_argument("--service", default=base.service_addr)
+        Settings.add_cli_arguments(parser, base)
+        Settings.add_service_arguments(parser, base)
+        return Settings.from_args(parser.parse_args(argv), base=base)
+
+    def test_flag_beats_env_beats_default(self):
+        env = {"EVAL_REPRO_SERVICE_RETRIES": "4"}
+        assert self._parse([], env).service_retries == 4
+        assert self._parse(
+            ["--service-retries", "9"], env
+        ).service_retries == 9
+        assert self._parse([]).service_retries == 1
+
+    def test_service_address_flag(self):
+        env = {"EVAL_REPRO_SERVICE": "env-host:1"}
+        assert self._parse([], env).service_addr == "env-host:1"
+        assert self._parse(
+            ["--service", "flag-host:2"], env
+        ).service_addr == "flag-host:2"
+
+    def test_timeout_and_max_jobs_flags(self):
+        cfg = self._parse(
+            ["--service-timeout", "1.5", "--service-max-jobs", "2"]
+        )
+        assert cfg.service_cell_timeout == 1.5
+        assert cfg.service_max_jobs == 2

@@ -286,3 +286,107 @@ class TestStaticMemoisation:
             assert calls[0] != calls[1]
         finally:
             runner_mod.measure_workload = original
+
+
+class TestCorruptArtifacts:
+    def test_truncated_npz_is_a_miss_and_is_deleted(
+        self, tmp_path, int_measurement
+    ):
+        from repro import obs
+
+        cache = ExperimentCache(tmp_path)
+        cache.save_measurement("k", int_measurement)
+        path = tmp_path / "measurements" / "k.npz"
+        path.write_bytes(path.read_bytes()[:40])  # torn copy
+        scope = obs.MetricsRegistry()
+        with obs.scoped(scope):
+            assert cache.load_measurement("k") is None
+        assert not path.exists()
+        assert scope.to_dict()["counters"]["cache.corrupt"] == 1.0
+        assert cache.stats.misses["measurement"] == 1
+        # A clean rewrite is served normally again.
+        cache.save_measurement("k", int_measurement)
+        loaded = cache.load_measurement("k")
+        np.testing.assert_array_equal(loaded.activity, int_measurement.activity)
+
+    def test_garbage_summary_json_is_a_miss_and_is_deleted(self, tmp_path):
+        from repro import obs
+
+        cache = ExperimentCache(tmp_path)
+        path = tmp_path / "summaries" / "k.json"
+        path.write_text("{not json at all")
+        scope = obs.MetricsRegistry()
+        with obs.scoped(scope):
+            assert cache.load_summary("k") is None
+        assert not path.exists()
+        assert scope.to_dict()["counters"]["cache.corrupt"] == 1.0
+
+    def test_corrupt_bank_is_a_miss_and_is_deleted(self, tmp_path):
+        cache = ExperimentCache(tmp_path)
+        path = tmp_path / "banks" / "k.npz"
+        path.write_bytes(b"PK\x03\x04 definitely not a bank")
+        assert cache.load_bank("k") is None
+        assert not path.exists()
+
+    def test_missing_artifact_is_a_plain_miss(self, tmp_path):
+        from repro import obs
+
+        cache = ExperimentCache(tmp_path)
+        scope = obs.MetricsRegistry()
+        with obs.scoped(scope):
+            assert cache.load_summary("absent") is None
+        assert "cache.corrupt" not in scope.to_dict()["counters"]
+
+
+class TestUnitExecutionError:
+    def test_wraps_worker_failure_with_unit_identity(self, two_workloads):
+        from repro.exps.engine import UnitExecutionError, run_unit_guarded
+
+        runner = ExperimentRunner(ENGINE_CONFIG, workloads=two_workloads)
+
+        def broken(*args, **kwargs):
+            raise ValueError("thermal solver diverged")
+
+        runner.run_unit = broken
+        with pytest.raises(UnitExecutionError) as excinfo:
+            run_unit_guarded(
+                runner, TS, AdaptationMode.EXH_DYN, 1, 0, two_workloads
+            )
+        message = str(excinfo.value)
+        assert "env=TS" in message and "mode=Exh-Dyn" in message
+        assert "chip=1" in message and "core=0" in message
+        assert "thermal solver diverged" in message
+        assert excinfo.value.unit == ("TS", "Exh-Dyn", 1, 0)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_does_not_double_wrap(self, two_workloads):
+        from repro.exps.engine import UnitExecutionError, run_unit_guarded
+
+        runner = ExperimentRunner(ENGINE_CONFIG, workloads=two_workloads)
+        inner = UnitExecutionError("TS", "Exh-Dyn", 0, 0)
+
+        def raising(*args, **kwargs):
+            raise inner
+
+        runner.run_unit = raising
+        with pytest.raises(UnitExecutionError) as excinfo:
+            run_unit_guarded(
+                runner, TS, AdaptationMode.EXH_DYN, 0, 0, two_workloads
+            )
+        assert excinfo.value is inner
+
+    def test_iter_units_order(self):
+        from repro.exps.engine import iter_units
+
+        cells = [(TS, AdaptationMode.EXH_DYN), (TS_ASV, AdaptationMode.STATIC)]
+        units = list(iter_units(cells, n_chips=2, cores_per_chip=2))
+        assert units[0] == (TS, AdaptationMode.EXH_DYN, 0, 0)
+        assert units[3] == (TS, AdaptationMode.EXH_DYN, 1, 1)
+        assert units[4] == (TS_ASV, AdaptationMode.STATIC, 0, 0)
+        assert len(units) == 8
+
+    def test_unit_key_derivation(self):
+        from repro.exps.cache import unit_key
+
+        assert unit_key("abc", 3, 1) == "abc-3-1"
+        assert unit_key("abc", 3, 1) != unit_key("abc", 1, 3)

@@ -288,3 +288,28 @@ class TestReportingFooter:
         assert "span.engine.unit_seconds" in text and "p50=0.5" in text
         assert metrics_footer(None) == ""
         assert metrics_footer({}) == ""
+
+
+class TestToDictPrefix:
+    def test_prefix_filters_every_section(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("serve.job.job-1.cells_total").inc(2)
+        reg.counter("serve.job.job-2.cells_total").inc(5)
+        reg.gauge("serve.job.job-1.cells_pending").set(1)
+        reg.gauge("other.gauge").set(9)
+        reg.histogram("serve.job.job-1.seconds").observe(0.5)
+        doc = reg.to_dict(prefix="serve.job.job-1.")
+        assert set(doc["counters"]) == {"serve.job.job-1.cells_total"}
+        assert set(doc["gauges"]) == {"serve.job.job-1.cells_pending"}
+        assert set(doc["histograms"]) == {"serve.job.job-1.seconds"}
+
+    def test_no_prefix_keeps_everything(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("a").inc(1)
+        reg.gauge("b").set(2)
+        assert set(reg.to_dict()["counters"]) == {"a"}
+        assert set(reg.to_dict()["gauges"]) == {"b"}

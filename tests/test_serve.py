@@ -1,0 +1,475 @@
+"""The repro.serve campaign service: coalescing, supervision, wire protocol."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import BASELINE, NOVAR, TS, TS_ASV, AdaptationMode
+from repro.exps import ExperimentRunner, RunnerConfig, RunSpec
+from repro.microarch import spec2000_like_suite
+from repro.serve import (
+    CampaignService,
+    CellScheduler,
+    Client,
+    JobCancelledError,
+    JobFailedError,
+    ProtocolError,
+    RetryPolicy,
+    ServiceBusyError,
+    ServiceClient,
+    ServiceDaemon,
+    UnknownJobError,
+    build_cell,
+    parse_address,
+    run_ladder_remote,
+    spec_from_wire,
+    spec_to_wire,
+    summaries_from_wire,
+    summaries_to_wire,
+)
+from repro.serve.coalesce import NOVAR_CHIP
+from repro.serve.protocol import decode_line, encode_line
+
+#: Same tiny-but-multi-chip scale as test_engine.py: two chips exercise
+#: unit decomposition and reassembly order.
+SERVE_CONFIG = RunnerConfig(
+    n_chips=2,
+    cores_per_chip=1,
+    n_instructions=3000,
+    fuzzy_examples=300,
+    fuzzy_epochs=1,
+)
+
+
+@pytest.fixture()
+def runner():
+    return ExperimentRunner(SERVE_CONFIG)
+
+
+@pytest.fixture()
+def two_workloads():
+    return tuple(spec2000_like_suite()[:2])
+
+
+def counting_run_unit(runner):
+    """Instrument a runner instance; returns the call log."""
+    calls = []
+    original = runner.run_unit
+
+    def counted(env, mode, chip_index, core_index, *args, **kwargs):
+        calls.append((env.name, mode.value, chip_index, core_index))
+        return original(env, mode, chip_index, core_index, *args, **kwargs)
+
+    runner.run_unit = counted
+    return calls
+
+
+class TestCoalescing:
+    def test_overlapping_jobs_compute_each_cell_once(self, runner, two_workloads):
+        calls = counting_run_unit(runner)
+        # Hold the workers at the first unit until both jobs are in, so
+        # the overlap is guaranteed rather than a race.
+        gate = threading.Event()
+        counted = runner.run_unit
+
+        def gated(*args, **kwargs):
+            gate.wait(30)
+            return counted(*args, **kwargs)
+
+        runner.run_unit = gated
+        spec = RunSpec(
+            environments=(BASELINE, TS),
+            modes=(AdaptationMode.EXH_DYN,),
+            workloads=two_workloads,
+        )
+        with CampaignService(runner, workers=2) as service:
+            client = Client(service)
+            first = client.submit(spec)
+            second = client.submit(spec)
+            gate.set()
+            r1 = client.result(first, timeout=300)
+            r2 = client.result(second, timeout=300)
+        # 2 cells x 2 chips = 4 units total, not 8: the second job
+        # followed the first's in-flight cells.
+        assert len(calls) == 4
+        assert len(set(calls)) == 4
+        assert r1.summaries == r2.summaries
+        assert client.status(second)["cells"]["coalesced"] == 2
+
+    def test_results_bit_identical_to_direct_run(self, runner, two_workloads):
+        spec = RunSpec(
+            environments=(BASELINE, TS, NOVAR),
+            modes=(AdaptationMode.EXH_DYN,),
+            workloads=two_workloads,
+        )
+        with CampaignService(runner, workers=2) as service:
+            job = Client(service).submit(spec)
+            served = service.result(job, timeout=300)
+        direct = ExperimentRunner(SERVE_CONFIG).run(spec)
+        assert set(served.summaries) == set(direct.summaries)
+        for cell, summary in direct.summaries.items():
+            assert served.summaries[cell] == summary, cell
+
+    def test_second_submission_served_from_cache(
+        self, runner, two_workloads, tmp_path
+    ):
+        from repro.exps.cache import ExperimentCache
+
+        calls = counting_run_unit(runner)
+        spec = RunSpec(
+            environments=(TS,),
+            modes=(AdaptationMode.EXH_DYN,),
+            workloads=two_workloads,
+        )
+        cache = ExperimentCache(tmp_path)
+        with CampaignService(runner, workers=2, cache=cache) as service:
+            client = Client(service)
+            client.result(client.submit(spec), timeout=300)
+            computed = len(calls)
+            job = client.submit(spec)
+            # No new units: the summary came straight off disk.
+            assert client.status(job)["state"] == "done"
+            assert client.status(job)["cells"]["cached"] == 1
+            assert len(calls) == computed
+
+    def test_novar_cell_is_one_pseudo_unit(self, runner, two_workloads):
+        cell = build_cell("k", NOVAR, AdaptationMode.EXH_DYN, two_workloads, 4, 2)
+        assert len(cell.units) == 1
+        assert cell.units[0].chip_index == NOVAR_CHIP
+        grid = build_cell("k", TS, AdaptationMode.EXH_DYN, two_workloads, 4, 2)
+        assert len(grid.units) == 8
+
+
+class TestFaultTolerance:
+    def test_flaky_unit_is_retried_to_success(self, runner, two_workloads):
+        original = runner.run_unit
+        failures = {"left": 2}
+
+        def flaky(env, mode, chip_index, core_index, *args, **kwargs):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("transient fault")
+            return original(env, mode, chip_index, core_index, *args, **kwargs)
+
+        runner.run_unit = flaky
+        policy = RetryPolicy(retries=3, backoff=0.0)
+        spec = RunSpec(
+            environments=(TS,),
+            modes=(AdaptationMode.EXH_DYN,),
+            workloads=two_workloads,
+        )
+        with CampaignService(runner, workers=1, policy=policy) as service:
+            job = service.submit(spec)
+            result = service.result(job, timeout=300)
+        assert failures["left"] == 0
+        assert (TS.name, "Exh-Dyn") in result.summaries
+
+    def test_poisoned_cell_fails_only_its_job(self, runner, two_workloads):
+        original = runner.run_unit
+
+        def poisoned(env, mode, chip_index, core_index, *args, **kwargs):
+            if env.name == TS_ASV.name and chip_index == 1:
+                raise RuntimeError("bad chip")
+            return original(env, mode, chip_index, core_index, *args, **kwargs)
+
+        runner.run_unit = poisoned
+        policy = RetryPolicy(retries=1, backoff=0.0)
+        with CampaignService(runner, workers=2, policy=policy) as service:
+            doomed = service.submit(RunSpec(
+                environments=(TS_ASV,),
+                modes=(AdaptationMode.EXH_DYN,),
+                workloads=two_workloads,
+            ))
+            healthy = service.submit(RunSpec(
+                environments=(TS,),
+                modes=(AdaptationMode.EXH_DYN,),
+                workloads=two_workloads,
+            ))
+            with pytest.raises(JobFailedError) as excinfo:
+                service.result(doomed, timeout=300)
+            # The structured report carries the poisoned unit's identity
+            # and the attempt count that exhausted the budget.
+            (failure,) = excinfo.value.failures
+            assert failure.environment == TS_ASV.name
+            assert failure.mode == "Exh-Dyn"
+            assert failure.chip_index == 1
+            assert failure.attempts == 2
+            assert "bad chip" in failure.error
+            # The service stays up: the other job and a post-failure
+            # submission both complete normally.
+            assert (TS.name, "Exh-Dyn") in service.result(
+                healthy, timeout=300
+            ).summaries
+            retry = service.submit(RunSpec(
+                environments=(TS,),
+                modes=(AdaptationMode.EXH_DYN,),
+                workloads=two_workloads,
+            ))
+            assert service.result(retry, timeout=300) is not None
+
+    def test_timeout_counts_as_failure(self, runner, two_workloads):
+        def sluggish(env, mode, chip_index, core_index, *args, **kwargs):
+            time.sleep(0.05)
+            raise AssertionError("result must be discarded, not returned")
+
+        runner.run_unit = sluggish
+        policy = RetryPolicy(retries=0, backoff=0.0, timeout=0.5)
+        with CampaignService(runner, workers=1, policy=policy) as service:
+            job = service.submit(RunSpec(
+                environments=(TS,),
+                modes=(AdaptationMode.EXH_DYN,),
+                workloads=two_workloads,
+            ))
+            with pytest.raises(JobFailedError):
+                service.result(job, timeout=60)
+
+    def test_over_budget_success_is_discarded(self, runner, two_workloads):
+        def slow_ok(env, mode, chip_index, core_index, *args, **kwargs):
+            time.sleep(0.05)
+            return []
+
+        runner.run_unit = slow_ok
+        policy = RetryPolicy(retries=0, backoff=0.0, timeout=0.001)
+        with CampaignService(runner, workers=1, policy=policy) as service:
+            job = service.submit(RunSpec(
+                environments=(TS,),
+                modes=(AdaptationMode.EXH_DYN,),
+                workloads=two_workloads,
+            ))
+            with pytest.raises(JobFailedError) as excinfo:
+                service.result(job, timeout=60)
+        assert "budget" in excinfo.value.failures[0].error
+
+    def test_cancel(self, runner, two_workloads):
+        gate = threading.Event()
+
+        def blocked(env, mode, chip_index, core_index, *args, **kwargs):
+            gate.wait(30)
+            raise RuntimeError("cancelled units never deliver")
+
+        runner.run_unit = blocked
+        policy = RetryPolicy(retries=0, backoff=0.0)
+        with CampaignService(runner, workers=1, policy=policy) as service:
+            client = Client(service)
+            job = client.submit(RunSpec(
+                environments=(TS,),
+                modes=(AdaptationMode.EXH_DYN,),
+                workloads=two_workloads,
+            ))
+            assert client.cancel(job) is True
+            assert client.cancel(job) is False  # already finished
+            gate.set()
+            with pytest.raises(JobCancelledError):
+                client.result(job, timeout=60)
+
+    def test_admission_control(self, runner, two_workloads):
+        from repro.config import Settings
+
+        gate = threading.Event()
+
+        def blocked(env, mode, chip_index, core_index, *args, **kwargs):
+            gate.wait(30)
+            return []
+
+        runner.run_unit = blocked
+        settings = Settings(service_max_jobs=1)
+        service = CampaignService(runner, settings=settings, workers=1)
+        try:
+            service.submit(RunSpec(
+                environments=(TS,),
+                modes=(AdaptationMode.EXH_DYN,),
+                workloads=two_workloads,
+            ))
+            with pytest.raises(ServiceBusyError):
+                service.submit(RunSpec(
+                    environments=(BASELINE,),
+                    modes=(AdaptationMode.EXH_DYN,),
+                    workloads=two_workloads,
+                ))
+        finally:
+            gate.set()
+            service.close()
+
+    def test_unknown_job(self, runner):
+        with CampaignService(runner, workers=1) as service:
+            with pytest.raises(UnknownJobError):
+                service.status("job-999")
+
+
+class TestScheduler:
+    def test_priority_order(self):
+        done = []
+        scheduler = CellScheduler(
+            lambda item: item,
+            workers=1,
+            policy=RetryPolicy(retries=0),
+            on_done=lambda item, result, attempts: done.append(item),
+            on_failed=lambda item, error, attempts: None,
+        )
+        # Enqueue before starting so ordering is priority, not timing.
+        scheduler.submit(0, "low")
+        scheduler.submit(5, "high")
+        scheduler.submit(5, "high-2")
+        scheduler.start()
+        deadline = time.monotonic() + 10
+        while len(done) < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        scheduler.stop()
+        assert done == ["high", "high-2", "low"]
+
+    def test_retry_budget_exhaustion(self):
+        attempts_seen = []
+        failed = []
+
+        def always_fails(item):
+            attempts_seen.append(item)
+            raise RuntimeError("boom")
+
+        scheduler = CellScheduler(
+            always_fails,
+            workers=1,
+            policy=RetryPolicy(retries=2, backoff=0.0),
+            on_done=lambda *a: None,
+            on_failed=lambda item, error, attempts: failed.append(
+                (item, attempts)
+            ),
+        )
+        scheduler.start()
+        scheduler.submit(0, "unit")
+        deadline = time.monotonic() + 10
+        while not failed and time.monotonic() < deadline:
+            time.sleep(0.01)
+        scheduler.stop()
+        assert failed == [("unit", 3)]  # 1 try + 2 retries
+        assert len(attempts_seen) == 3
+
+    def test_claim_predicate_drops_items(self):
+        done = []
+        scheduler = CellScheduler(
+            lambda item: item,
+            workers=1,
+            policy=RetryPolicy(retries=0),
+            on_done=lambda item, result, attempts: done.append(item),
+            on_failed=lambda *a: None,
+            claim=lambda item: item != "dead",
+        )
+        scheduler.start()
+        scheduler.submit(0, "dead")
+        scheduler.submit(0, "alive")
+        deadline = time.monotonic() + 10
+        while "alive" not in done and time.monotonic() < deadline:
+            time.sleep(0.01)
+        scheduler.stop()
+        assert done == ["alive"]
+
+
+class TestProtocol:
+    def test_spec_roundtrip(self, two_workloads):
+        spec = RunSpec(
+            environments=(TS, BASELINE),
+            modes=(AdaptationMode.STATIC, AdaptationMode.EXH_DYN),
+            workloads=two_workloads,
+        )
+        rebuilt = spec_from_wire(spec_to_wire(spec))
+        assert [e.name for e in rebuilt.environments] == ["TS", "Baseline"]
+        assert rebuilt.modes == spec.modes
+        assert [w.name for w in rebuilt.workloads] == [
+            w.name for w in two_workloads
+        ]
+
+    def test_spec_defaults_and_errors(self):
+        spec = spec_from_wire({"environments": ["TS"]})
+        assert spec.modes == (AdaptationMode.EXH_DYN,)
+        assert spec.workloads is None
+        with pytest.raises(ProtocolError):
+            spec_from_wire({"environments": ["NoSuchEnv"]})
+        with pytest.raises(ProtocolError):
+            spec_from_wire({"environments": ["TS"], "modes": ["NoSuchMode"]})
+        with pytest.raises(ProtocolError):
+            spec_from_wire({"environments": ["TS"], "workloads": ["nope"]})
+
+    def test_summaries_roundtrip(self):
+        from repro.exps.runner import SuiteSummary
+
+        summaries = {
+            ("TS", "Exh-Dyn"): SuiteSummary(
+                f_rel=0.9031234567891234, perf_rel=0.92, power=24.0
+            ),
+        }
+        rebuilt = summaries_from_wire(summaries_to_wire(summaries))
+        assert rebuilt[("TS", "Exh-Dyn")].f_rel == 0.9031234567891234
+
+    def test_framing(self):
+        assert decode_line(encode_line({"op": "ping"})) == {"op": "ping"}
+        with pytest.raises(ProtocolError):
+            decode_line(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2]\n")
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:7571") == ("127.0.0.1", 7571)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+
+
+class TestDaemon:
+    @pytest.fixture()
+    def daemon(self, runner):
+        service = CampaignService(runner, workers=2)
+        with ServiceDaemon(service, address="127.0.0.1:0") as daemon:
+            yield daemon
+
+    def test_end_to_end_over_socket(self, daemon, two_workloads):
+        client = ServiceClient(daemon.address)
+        assert client.ping()["version"] == 1
+        spec = RunSpec(
+            environments=(BASELINE,),
+            modes=(AdaptationMode.EXH_DYN,),
+            workloads=two_workloads,
+        )
+        job = client.submit(spec)
+        payload = client.result(job, timeout=300)
+        summaries = summaries_from_wire(payload["cells"])
+        direct = ExperimentRunner(SERVE_CONFIG).run(spec)
+        assert summaries[("Baseline", "Exh-Dyn")] == direct.summary(BASELINE)
+        assert client.status(job)["state"] == "done"
+        assert "counters" in client.metrics()
+
+    def test_error_envelopes_cross_the_wire(self, daemon):
+        client = ServiceClient(daemon.address)
+        with pytest.raises(UnknownJobError):
+            client.status("job-999")
+
+    def test_unknown_op_is_a_protocol_error(self, daemon):
+        with pytest.raises(ProtocolError):
+            daemon.dispatch({"op": "nope"})
+        with pytest.raises(ProtocolError):
+            daemon.dispatch({"op": "status"})  # missing job_id
+
+    def test_remote_failure_report(self, daemon, two_workloads):
+        service = daemon.service
+
+        def broken(env, mode, chip_index, core_index, *args, **kwargs):
+            raise RuntimeError("remote boom")
+
+        service.runner.run_unit = broken
+        client = ServiceClient(daemon.address)
+        job = client.submit(RunSpec(
+            environments=(TS,),
+            modes=(AdaptationMode.EXH_DYN,),
+            workloads=two_workloads,
+        ))
+        with pytest.raises(JobFailedError) as excinfo:
+            client.result(job, timeout=60)
+        assert excinfo.value.failures[0].environment == "TS"
+        assert "remote boom" in excinfo.value.failures[0].error
+
+    def test_run_ladder_remote(self, daemon, two_workloads):
+        ladder = run_ladder_remote(
+            daemon.address,
+            environments=[TS],
+            modes=(AdaptationMode.EXH_DYN,),
+        )
+        assert (TS.name, "Exh-Dyn") in ladder.entries
+        assert ladder.novar.f_rel == pytest.approx(1.0)
