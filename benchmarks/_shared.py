@@ -16,8 +16,12 @@ e.g. ``bench_fig10`` skips the Monte-Carlo work entirely.
 
 from __future__ import annotations
 
+import json
+import os
 from functools import lru_cache
+from typing import Any, Dict
 
+from repro import __version__, obs
 from repro.config import Settings
 from repro.exps.ladder import run_ladder
 from repro.exps.runner import ExperimentRunner, RunnerConfig
@@ -55,9 +59,63 @@ def shared_runner() -> ExperimentRunner:
             fuzzy_epochs=2,
         ),
         cache=cfg.build_cache(),
+        batch_phases=cfg.batch_phases,
     )
 
 
 @lru_cache(maxsize=1)
 def shared_ladder():
     return run_ladder(shared_runner(), settings=settings())
+
+
+#: Extra machine-readable blocks benchmarks attach to the baseline file
+#: (e.g. the serial-vs-batched comparison of ``bench_phase_opt``).
+_BENCH_SECTIONS: Dict[str, Any] = {}
+
+#: Metric-name prefixes worth keeping in the perf-baseline file.
+_BASELINE_PREFIXES = ("optimizer.", "thermal.", "ml.", "engine.", "runner.")
+
+
+def record_bench_section(name: str, payload: Dict[str, Any]) -> None:
+    """Attach a JSON-safe block to this session's ``BENCH_phase.json``."""
+    _BENCH_SECTIONS[name] = payload
+
+
+def write_phase_baseline(path: "str | None" = None) -> str:
+    """Write the machine-readable perf baseline (``BENCH_phase.json``).
+
+    Captures the session's per-stage wall clock (the ``span.*`` duration
+    histograms), the optimizer work counters, and the per-lane
+    iterations-to-converge histogram — enough to diff optimizer perf
+    between commits without re-parsing pytest-benchmark output.  Raw
+    histogram reservoirs are dropped; only the summary stats are kept.
+    """
+    path = path or os.environ.get("EVAL_REPRO_BENCH_OUT", "BENCH_phase.json")
+    document = obs.metrics_registry().to_dict()
+
+    def keep(name: str) -> bool:
+        stage = name[len("span."):] if name.startswith("span.") else name
+        return stage.startswith(_BASELINE_PREFIXES)
+
+    histograms = {
+        name: {k: v for k, v in stats.items() if k != "values"}
+        for name, stats in document["histograms"].items()
+        if keep(name)
+    }
+    cfg = settings()
+    payload = {
+        "version": __version__,
+        "scale": {"chips": cfg.chips, "cores": cfg.cores, "jobs": cfg.jobs},
+        "batch_phases": cfg.batch_phases,
+        "counters": {
+            name: value
+            for name, value in document["counters"].items()
+            if keep(name)
+        },
+        "histograms": histograms,
+        "sections": dict(_BENCH_SECTIONS),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

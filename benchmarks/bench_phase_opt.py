@@ -1,0 +1,85 @@
+"""Perf smoke: batched vs serial Exh-Dyn phase optimisation.
+
+Runs the same fig10 slice (every chip/core of the bench population, the
+richest environment, Exh-Dyn) through the per-phase serial loop and
+through the batched phase-matrix kernels, asserts the
+:class:`~repro.exps.runner.PhaseResult` rows are *identical*, and
+records the wall-clock comparison into ``BENCH_phase.json`` (section
+``phase_optimizer``).  Measurements are warmed first so both timed runs
+isolate the optimisation stage rather than the Monte-Carlo microarch
+simulation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _shared import record_bench_section, scale, shared_runner
+
+from repro import obs
+from repro.core import TS_ASV_Q_FU, AdaptationMode
+from repro.obs import MetricsRegistry
+
+ENV = TS_ASV_Q_FU
+MODE = AdaptationMode.EXH_DYN
+
+
+def _run_slice(runner, batch_phases: bool):
+    """One pass over every (chip, core) unit; returns (rows, seconds)."""
+    registry = MetricsRegistry()
+    rows = []
+    with obs.scoped(registry):
+        start = time.perf_counter()
+        for chip in range(runner.config.n_chips):
+            for core in range(runner.config.cores_per_chip):
+                rows.extend(
+                    runner.run_unit(
+                        ENV, MODE, chip, core, batch_phases=batch_phases
+                    )
+                )
+        elapsed = time.perf_counter() - start
+    return rows, elapsed, registry.to_dict()
+
+
+def test_phase_opt_serial_vs_batched(benchmark):
+    runner = shared_runner()
+    chips, cores = scale()
+
+    # Warm the measurement memo (and any disk cache) so the timed passes
+    # compare optimizer kernels, not trace simulation.
+    _run_slice(runner, batch_phases=True)
+
+    serial_rows, serial_s, serial_metrics = _run_slice(
+        runner, batch_phases=False
+    )
+    batched_rows, batched_s, batched_metrics = benchmark.pedantic(
+        _run_slice, args=(runner, True), rounds=1, iterations=1
+    )
+
+    assert batched_rows == serial_rows  # bit-identical physics
+
+    speedup = serial_s / batched_s if batched_s > 0 else float("inf")
+    iters = batched_metrics["histograms"].get("optimizer.freq_iterations", {})
+    record_bench_section("phase_optimizer", {
+        "environment": ENV.name,
+        "mode": MODE.value,
+        "units": chips * cores,
+        "phases": len(batched_rows),
+        "serial_seconds": serial_s,
+        "batched_seconds": batched_s,
+        "speedup": speedup,
+        "freq_iterations": {
+            k: v for k, v in iters.items() if k != "values"
+        },
+        "optimizer_counters": {
+            name: value
+            for name, value in batched_metrics["counters"].items()
+            if name.startswith(("optimizer.", "thermal."))
+        },
+    })
+    print(f"\nphase optimisation ({chips}x{cores} units, "
+          f"{len(batched_rows)} phase rows): serial {serial_s:.2f}s, "
+          f"batched {batched_s:.2f}s -> {speedup:.1f}x")
+
+    # The batched path must never lose to the serial loop it replaces.
+    assert speedup >= 1.0

@@ -4,3 +4,18 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the machine-readable perf baseline after every bench session.
+
+    Best-effort: a baseline-writing failure must never fail the session
+    (CI uploads the file as an artifact when present).
+    """
+    try:
+        from _shared import write_phase_baseline
+
+        path = write_phase_baseline()
+        print(f"\nperf baseline written to {path}")
+    except Exception as exc:  # pragma: no cover - diagnostics only
+        print(f"\nperf baseline not written: {exc!r}", file=sys.stderr)

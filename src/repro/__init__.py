@@ -53,6 +53,7 @@ from .core import (
     AdaptationResult,
     Environment,
     optimize_phase,
+    optimize_phases_batched,
 )
 from .exps.engine import RunResult, RunSpec
 from .exps.runner import ExperimentRunner, RunnerConfig
@@ -67,7 +68,7 @@ from .obs import (
 )
 from .variation import VariationModel
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ADAPTIVE_ENVIRONMENTS",
@@ -100,6 +101,7 @@ __all__ = [
     "metrics_registry",
     "obs",
     "optimize_phase",
+    "optimize_phases_batched",
     "quick_adapt",
     "span",
     "spec2000_like_suite",

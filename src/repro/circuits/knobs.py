@@ -110,6 +110,13 @@ class KnobRanges:
         steps = int(np.floor((freq - self.f_min) / self.f_step + 1e-9))
         return min(self.f_min + steps * self.f_step, self.f_max)
 
+    def clamp_frequencies(self, freqs) -> np.ndarray:
+        """Vectorised :meth:`clamp_frequency` (bit-identical per element)."""
+        freqs = np.asarray(freqs, dtype=float)
+        steps = np.floor((freqs - self.f_min) / self.f_step + 1e-9)
+        snapped = np.minimum(self.f_min + steps * self.f_step, self.f_max)
+        return np.where(freqs <= self.f_min, self.f_min, snapped)
+
 
 DEFAULT_KNOB_RANGES = KnobRanges()
 

@@ -21,6 +21,11 @@ Recognised environment variables::
     EVAL_REPRO_LOG_LEVEL    repro logger threshold (``--log-level``)
     EVAL_REPRO_LOG_JSON     any non-empty value selects JSON log lines
     EVAL_REPRO_METRICS_OUT  metrics JSON path (``--metrics-out``)
+    EVAL_REPRO_SERIAL_PHASES  any non-empty value routes Exh-Dyn phase
+                            optimisation through the per-phase serial
+                            loop (``--serial-phases``) instead of the
+                            batched kernels; bit-identical, for perf
+                            baselining and debugging
 
 Campaign-service knobs (see :mod:`repro.serve`)::
 
@@ -55,6 +60,7 @@ class Settings:
     log_level: str = "WARNING"
     log_json: bool = False
     metrics_out: Optional[str] = None
+    batch_phases: bool = True
     service_addr: Optional[str] = None
     service_max_jobs: int = 8
     service_retries: int = 1
@@ -116,6 +122,9 @@ class Settings:
             log_level=text("EVAL_REPRO_LOG_LEVEL", base.log_level).upper(),
             log_json=flag("EVAL_REPRO_LOG_JSON", base.log_json),
             metrics_out=text("EVAL_REPRO_METRICS_OUT", base.metrics_out),
+            batch_phases=not flag(
+                "EVAL_REPRO_SERIAL_PHASES", not base.batch_phases
+            ),
             service_addr=text("EVAL_REPRO_SERVICE", base.service_addr),
             service_max_jobs=integer(
                 "EVAL_REPRO_SERVICE_MAX_JOBS", base.service_max_jobs
@@ -158,6 +167,8 @@ class Settings:
             log_level=str(take("log_level", base.log_level)).upper(),
             log_json=bool(take("log_json", base.log_json)),
             metrics_out=take("metrics_out", base.metrics_out),
+            batch_phases=base.batch_phases
+            and not getattr(args, "serial_phases", False),
             service_addr=take("service", base.service_addr),
             service_max_jobs=take("service_max_jobs", base.service_max_jobs),
             service_retries=take("service_retries", base.service_retries),
@@ -208,6 +219,14 @@ class Settings:
             default=defaults.metrics_out,
             help="write the merged fleet-wide metrics registry to this "
                  "JSON file at exit",
+        )
+        parser.add_argument(
+            "--serial-phases",
+            action="store_true",
+            default=not defaults.batch_phases,
+            help="route Exh-Dyn phase optimisation through the per-phase "
+                 "serial loop instead of the batched kernels "
+                 "(bit-identical; for perf baselining)",
         )
 
     @staticmethod

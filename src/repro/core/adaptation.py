@@ -21,7 +21,7 @@ constraints.  The search is decomposed per Section 4.2:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,12 +41,19 @@ from ..timing.speculation import CheckerConfig, PerfParams, performance
 from .environments import AdaptationMode, Environment
 from .optimizer import (
     OptimizationSpec,
+    SubsystemArrays,
     core_subsystem_arrays,
     freq_algorithm,
     power_algorithm,
 )
-from .retuning import Outcome, RetuningResult, retune
-from .state import Configuration, EvaluatedState, evaluate_configuration
+from .retuning import _VIOLATION_OUTCOME, Outcome, RetuningResult, retune
+from .state import (
+    Configuration,
+    EvaluatedState,
+    Violation,
+    evaluate_configuration,
+    evaluate_configurations,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
     from ..ml.bank import ControllerBank
@@ -272,6 +279,31 @@ def optimize_phase(
     vdd, vbb = _power_stage(
         core, env, spec, chosen_technique, chosen_meas, f_core, mode, bank
     )
+    return _finish_phase(
+        core, env, spec, chosen_technique, chosen_meas, f_core, vdd, vbb,
+        mode, bank, retune_enabled,
+    )
+
+
+def _finish_phase(
+    core: Core,
+    env: Environment,
+    spec: OptimizationSpec,
+    technique: TechniqueState,
+    meas: WorkloadMeasurement,
+    f_core: float,
+    vdd: np.ndarray,
+    vbb: np.ndarray,
+    mode: AdaptationMode,
+    bank: "Optional[ControllerBank]",
+    retune_enabled: bool,
+) -> AdaptationResult:
+    """Power-budget enforcement + retuning + result assembly (one phase).
+
+    The batched entry point runs the same logic lane-masked across all
+    phases at once (:func:`_finish_phases_batched`); the two produce
+    bit-identical results.
+    """
     # Section 4.2's final check: overall processor power below PMAX.  The
     # controller models power with the same Eq 6-9 constants it senses, so
     # on a violation it lowers the core frequency and re-runs the Power
@@ -279,13 +311,13 @@ def optimize_phase(
     step = spec.knob_ranges.f_step
     while f_core - 2 * step >= spec.knob_ranges.f_min:
         trial = Configuration(
-            f_core=f_core, vdd=vdd, vbb=vbb, technique=chosen_technique
+            f_core=f_core, vdd=vdd, vbb=vbb, technique=technique
         )
         estimate = evaluate_configuration(
             core,
             trial,
-            chosen_meas.activity,
-            chosen_meas.rho,
+            meas.activity,
+            meas.rho,
             spec.t_heatsink,
             checker=env.checker,
         )
@@ -293,10 +325,10 @@ def optimize_phase(
             break
         f_core -= 2 * step
         vdd, vbb = _power_stage(
-            core, env, spec, chosen_technique, chosen_meas, f_core, mode, bank
+            core, env, spec, technique, meas, f_core, mode, bank
         )
     config = Configuration(
-        f_core=f_core, vdd=vdd, vbb=vbb, technique=chosen_technique
+        f_core=f_core, vdd=vdd, vbb=vbb, technique=technique
     )
 
     pe_limit = core.calib.pe_max if env.checker else 1e-12
@@ -304,8 +336,8 @@ def optimize_phase(
         result: RetuningResult = retune(
             core,
             config,
-            chosen_meas.activity,
-            chosen_meas.rho,
+            meas.activity,
+            meas.rho,
             pe_max=pe_limit,
             checker=env.checker,
             knob_ranges=spec.knob_ranges,
@@ -316,14 +348,14 @@ def optimize_phase(
         state = evaluate_configuration(
             core,
             config,
-            chosen_meas.activity,
-            chosen_meas.rho,
+            meas.activity,
+            meas.rho,
             spec.t_heatsink,
             checker=env.checker,
         )
         outcome = Outcome.NO_CHANGE
 
-    params = perf_params_from_measurement(chosen_meas, core)
+    params = perf_params_from_measurement(meas, core)
     pe_effective = state.pe_total if env.checker else 0.0
     perf = float(performance(config.f_core, pe_effective, params))
     if env.checker:
@@ -335,9 +367,361 @@ def optimize_phase(
         state=state,
         outcome=outcome,
         f_controller=f_core,
-        measurement=chosen_meas,
+        measurement=meas,
         performance_ips=perf,
     )
+
+
+def _phase_arrays(
+    core: Core, technique: TechniqueState, meas: WorkloadMeasurement
+) -> SubsystemArrays:
+    """The optimiser view of one phase under one technique state."""
+    return core_subsystem_arrays(
+        core,
+        meas.activity,
+        meas.rho,
+        technique.stage_modifiers(core),
+        technique.power_factors(core),
+    )
+
+
+def _freq_stage_batched(
+    core: Core,
+    env: Environment,
+    spec: OptimizationSpec,
+    measurements: Sequence[WorkloadMeasurement],
+    queue_full: bool,
+) -> "Tuple[List[TechniqueState], List[float]]":
+    """The Freq stage of :func:`_freq_stage` for a stack of phases.
+
+    One ``freq_algorithm`` call sweeps every phase lane (two calls when
+    the environment replicates FUs — normal and low-slope stacks); the
+    Figure 4 FU decision is then applied per lane exactly as the serial
+    stage does, so the chosen technique states and clamped core
+    frequencies are bit-identical.
+    """
+    techniques = [
+        TechniqueState(queue_full=queue_full, lowslope=False, domain=m.domain)
+        for m in measurements
+    ]
+    stack = SubsystemArrays.stack(
+        [_phase_arrays(core, t, m) for t, m in zip(techniques, measurements)]
+    )
+    fmax = freq_algorithm(stack, spec).f_max
+    if env.fu:
+        lowslope = [replace(t, lowslope=True) for t in techniques]
+        stack_ls = SubsystemArrays.stack(
+            [_phase_arrays(core, t, m) for t, m in zip(lowslope, measurements)]
+        )
+        fmax_ls = freq_algorithm(stack_ls, spec).f_max
+        for lane, technique in enumerate(techniques):
+            fu_idx = core.floorplan.index_of(technique.fu_name)
+            rest = np.delete(fmax[lane], fu_idx)
+            decision = choose_fu_implementation(
+                f_normal=float(fmax[lane][fu_idx]),
+                f_lowslope=float(fmax_ls[lane][fu_idx]),
+                f_rest=float(rest.min()),
+            )
+            if decision.use_lowslope:
+                techniques[lane] = lowslope[lane]
+                fmax[lane] = fmax_ls[lane]
+    f_core = [
+        spec.knob_ranges.clamp_frequency(float(fmax[lane].min()))
+        for lane in range(len(measurements))
+    ]
+    return techniques, f_core
+
+
+def optimize_phases_batched(
+    core: Core,
+    env: Environment,
+    phases: Sequence[
+        "Tuple[WorkloadMeasurement, Optional[WorkloadMeasurement]]"
+    ],
+    mode: AdaptationMode = AdaptationMode.EXH_DYN,
+    bank: "Optional[ControllerBank]" = None,
+    *,
+    spec: Optional[OptimizationSpec] = None,
+    retune_enabled: bool = True,
+) -> List[AdaptationResult]:
+    """Adapt many phases of one (core, environment) in batched kernels.
+
+    ``phases`` is a sequence of ``(meas_full, meas_resized)`` pairs as
+    accepted by :func:`optimize_phase` (``meas_resized`` may be ``None``
+    when the environment does not resize queues).  The per-phase
+    ``SubsystemArrays`` are stacked once and each optimiser stage — Freq
+    over the full queue, Freq over the resized queue, Power at the chosen
+    per-lane frequencies — runs as a single vectorised sweep, with
+    results identical bit-for-bit to calling :func:`optimize_phase` per
+    phase.  Modes whose controllers are inherently scalar (Fuzzy-Dyn)
+    fall back to the per-phase loop.
+    """
+    phases = list(phases)
+    spec = spec or env.optimization_spec(core.n_subsystems, core.calib)
+    if mode is not AdaptationMode.EXH_DYN or len(phases) <= 1:
+        return [
+            optimize_phase(
+                core, env, meas_full, meas_resized, mode=mode, bank=bank,
+                spec=spec, retune_enabled=retune_enabled,
+            )
+            for meas_full, meas_resized in phases
+        ]
+    if env.queue and any(resized is None for _, resized in phases):
+        raise ValueError(f"{env.name} resizes queues: meas_resized required")
+
+    full_meas = [meas for meas, _ in phases]
+    techniques_full, f_full = _freq_stage_batched(
+        core, env, spec, full_meas, queue_full=True
+    )
+    chosen: List[Tuple[TechniqueState, WorkloadMeasurement, float]] = list(
+        zip(techniques_full, full_meas, f_full)
+    )
+    if env.queue:
+        resized_meas = [resized for _, resized in phases]
+        techniques_rs, f_rs = _freq_stage_batched(
+            core, env, spec, resized_meas, queue_full=False
+        )
+        pe_target = core.calib.pe_max if env.checker else 0.0
+        for lane, (meas_full, meas_resized) in enumerate(phases):
+            decision = choose_queue_size(
+                f_full[lane],
+                perf_params_from_measurement(meas_full, core),
+                f_rs[lane],
+                perf_params_from_measurement(meas_resized, core),
+                pe_target,
+            )
+            if not decision.use_full:
+                chosen[lane] = (techniques_rs[lane], meas_resized, f_rs[lane])
+
+    if env.asv or env.abb:
+        stack = SubsystemArrays.stack(
+            [_phase_arrays(core, t, m) for t, m, _ in chosen]
+        )
+        f_lanes = np.array([f for _, _, f in chosen])
+        power = power_algorithm(stack, f_lanes, spec)
+        voltages = [(power.vdd[lane], power.vbb[lane])
+                    for lane in range(len(chosen))]
+    else:
+        n = core.n_subsystems
+        voltages = [
+            (np.full(n, core.calib.vdd_nominal), np.zeros(n))
+            for _ in chosen
+        ]
+
+    if retune_enabled:
+        return _finish_phases_batched(
+            core, env, spec, chosen, voltages, mode, bank
+        )
+    return [
+        _finish_phase(
+            core, env, spec, technique, meas, f_core, vdd, vbb, mode, bank,
+            retune_enabled,
+        )
+        for (technique, meas, f_core), (vdd, vbb) in zip(chosen, voltages)
+    ]
+
+
+def _finish_phases_batched(
+    core: Core,
+    env: Environment,
+    spec: OptimizationSpec,
+    chosen: "Sequence[Tuple[TechniqueState, WorkloadMeasurement, float]]",
+    voltages: "Sequence[Tuple[np.ndarray, np.ndarray]]",
+    mode: AdaptationMode,
+    bank: "Optional[ControllerBank]",
+) -> List[AdaptationResult]:
+    """Power-budget enforcement + retuning for all lanes, masked-batched.
+
+    Mirrors :func:`_finish_phase` (and :func:`~repro.core.retuning.retune`)
+    lane-for-lane: every constraint check a lane would make serially is
+    made at the same frequency with the same elementwise physics — only
+    grouped, so each round of checks across the still-active lanes is a
+    single :func:`~repro.core.state.evaluate_configurations` call, and
+    each power-stage re-run a single batched Power sweep.  Lanes retire
+    from a loop exactly when their serial counterpart would exit it,
+    which is what makes the results bit-identical.
+    """
+    knobs = spec.knob_ranges
+    step = knobs.f_step
+    n_lanes = len(chosen)
+    techniques = [technique for technique, _, _ in chosen]
+    meas = [measurement for _, measurement, _ in chosen]
+    f = [float(f_core) for _, _, f_core in chosen]
+    vdd = [v for v, _ in voltages]
+    vbb = [b for _, b in voltages]
+
+    def check(lanes, freqs) -> List[EvaluatedState]:
+        return evaluate_configurations(
+            core,
+            [
+                Configuration(
+                    f_core=freq, vdd=vdd[i], vbb=vbb[i],
+                    technique=techniques[i],
+                )
+                for i, freq in zip(lanes, freqs)
+            ],
+            [meas[i].activity for i in lanes],
+            [meas[i].rho for i in lanes],
+            spec.t_heatsink,
+            checker=env.checker,
+        )
+
+    # Section 4.2's PMAX loop: lanes stay active while over budget and
+    # above the frequency floor; each re-run of the Power stage batches
+    # all still-violating lanes into one sweep.
+    active = [i for i in range(n_lanes) if f[i] - 2 * step >= knobs.f_min]
+    while active:
+        states = check(active, [f[i] for i in active])
+        over = [
+            i for i, state in zip(active, states)
+            if state.total_power > core.calib.p_max
+        ]
+        if not over:
+            break
+        for i in over:
+            f[i] -= 2 * step
+        if (env.asv or env.abb) and mode is not AdaptationMode.FUZZY_DYN:
+            stack = SubsystemArrays.stack(
+                [_phase_arrays(core, techniques[i], meas[i]) for i in over]
+            )
+            power = power_algorithm(
+                stack, np.array([f[i] for i in over]), spec
+            )
+            for lane, i in enumerate(over):
+                vdd[i], vbb[i] = power.vdd[lane], power.vbb[lane]
+        else:
+            for i in over:
+                vdd[i], vbb[i] = _power_stage(
+                    core, env, spec, techniques[i], meas[i], f[i], mode, bank
+                )
+        active = [i for i in over if f[i] - 2 * step >= knobs.f_min]
+
+    # Section 4.3.3 retuning cycles, lane-masked (see retune()).
+    pe_limit = core.calib.pe_max if env.checker else 1e-12
+    f_entry = list(f)  # the controller frequency each lane retunes from
+    max_adjustments = 64
+    state_of: List[Optional[EvaluatedState]] = [None] * n_lanes
+    outcome_of: List[Optional[Outcome]] = [None] * n_lanes
+    steps = [0] * n_lanes
+    viol: List[Violation] = [Violation.NONE] * n_lanes
+
+    for i, state in enumerate(check(list(range(n_lanes)), f_entry)):
+        state_of[i] = state
+        viol[i] = state.violation(core, pe_max=pe_limit)
+    initial_viol = list(viol)
+
+    # Violating lanes: exponential back-off (1, 2, 4, 8... steps)...
+    move = [1] * n_lanes
+    active = [
+        i for i in range(n_lanes)
+        if viol[i] is not Violation.NONE and f[i] > knobs.f_min
+        and steps[i] < max_adjustments
+    ]
+    while active:
+        freqs = [max(f[i] - move[i] * step, knobs.f_min) for i in active]
+        for i, freq, state in zip(active, freqs, check(active, freqs)):
+            f[i] = freq
+            state_of[i] = state
+            viol[i] = state.violation(core, pe_max=pe_limit)
+            steps[i] += 1
+            move[i] = min(move[i] * 2, 8)
+        active = [
+            i for i in active
+            if viol[i] is not Violation.NONE and f[i] > knobs.f_min
+            and steps[i] < max_adjustments
+        ]
+    for i in range(n_lanes):
+        if initial_viol[i] is not Violation.NONE:
+            outcome_of[i] = _VIOLATION_OUTCOME[initial_viol[i]]
+    # ...then a single-step ramp back up to just below the violation.
+    active = [
+        i for i in range(n_lanes)
+        if initial_viol[i] is not Violation.NONE
+        and f[i] + step <= f_entry[i] and steps[i] < max_adjustments
+    ]
+    while active:
+        freqs = [f[i] + step for i in active]
+        advanced = []
+        for i, freq, state in zip(active, freqs, check(active, freqs)):
+            steps[i] += 1
+            if state.violation(core, pe_max=pe_limit) is not Violation.NONE:
+                continue  # retire at the current frequency and state
+            f[i] = freq
+            state_of[i] = state
+            advanced.append(i)
+        active = [
+            i for i in advanced
+            if f[i] + step <= f_entry[i] and steps[i] < max_adjustments
+        ]
+
+    # No-violation lanes: probe one step up; NoChange if it immediately
+    # violates, otherwise keep ramping toward f_max (LowFreq).
+    no_violation = [
+        i for i in range(n_lanes) if initial_viol[i] is Violation.NONE
+    ]
+    if no_violation:
+        probes = [min(f[i] + step, knobs.f_max) for i in no_violation]
+        ramp = []
+        for i, freq, state in zip(
+            no_violation, probes, check(no_violation, probes)
+        ):
+            steps[i] += 1
+            if (
+                state.violation(core, pe_max=pe_limit) is not Violation.NONE
+                or f[i] + step > knobs.f_max
+            ):
+                outcome_of[i] = Outcome.NO_CHANGE
+                continue
+            f[i] = freq
+            state_of[i] = state
+            outcome_of[i] = Outcome.LOW_FREQ
+            ramp.append(i)
+        active = [
+            i for i in ramp
+            if f[i] + step <= knobs.f_max and steps[i] < max_adjustments
+        ]
+        while active:
+            freqs = [f[i] + step for i in active]
+            advanced = []
+            for i, freq, state in zip(active, freqs, check(active, freqs)):
+                steps[i] += 1
+                if (
+                    state.violation(core, pe_max=pe_limit)
+                    is not Violation.NONE
+                ):
+                    continue
+                f[i] = freq
+                state_of[i] = state
+                advanced.append(i)
+            active = [
+                i for i in advanced
+                if f[i] + step <= knobs.f_max and steps[i] < max_adjustments
+            ]
+
+    results = []
+    for i in range(n_lanes):
+        config = Configuration(
+            f_core=f[i], vdd=vdd[i], vbb=vbb[i], technique=techniques[i]
+        )
+        state = state_of[i]
+        params = perf_params_from_measurement(meas[i], core)
+        pe_effective = state.pe_total if env.checker else 0.0
+        perf = float(performance(config.f_core, pe_effective, params))
+        if env.checker:
+            perf = float(CheckerConfig().cap_performance(perf))
+        results.append(
+            AdaptationResult(
+                environment=env,
+                mode=mode,
+                config=config,
+                state=state,
+                outcome=outcome_of[i],
+                f_controller=f_entry[i],
+                measurement=meas[i],
+                performance_ips=perf,
+            )
+        )
+    return results
 
 
 def aggregate_static_measurement(

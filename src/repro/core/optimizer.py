@@ -16,16 +16,22 @@ Figure 7(a); it is the oracle the fuzzy controllers are trained against
 
 Everything is vectorised over a :class:`SubsystemArrays` batch, which is
 either a view of a real :class:`~repro.chip.chip.Core` or a synthetic
-batch of training samples.
+batch of training samples.  A batch may additionally carry a leading
+*lane* axis — shape ``(B, n_subsystems)``, built with
+:meth:`SubsystemArrays.stack` — in which case one kernel call solves B
+independent phases at once over a ``(vdd, vbb, B, n)`` grid.  Because
+every physical relation is elementwise per grid cell, batched results
+are bit-identical to B separate calls; converged lanes drop out of the
+joint fixed point early (convergence masking) instead of iterating at
+the slowest lane's pace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
-from scipy.special import ndtri
 
 from .. import obs
 from ..calibration import DEFAULT_CALIBRATION, Calibration
@@ -39,7 +45,30 @@ from ..circuits.knobs import (
 )
 from ..circuits.leakage import static_power
 from ..chip.chip import Core
+from ..numerics import ndtri
 from ..timing.paths import StageModifiers
+
+#: Iteration caps of the joint (f, T) fixed point and the inner thermal
+#: solve; the convergence tolerances mirror ``np.allclose`` defaults.
+_FREQ_MAX_ITERATIONS = 30
+_CONVERGENCE_RTOL = 1e-6
+_CONVERGENCE_ATOL = 1e-8
+
+#: The per-lane array fields of :class:`SubsystemArrays`, in declaration
+#: order (used by stacking / lane selection).
+_ARRAY_FIELDS = (
+    "vt0_timing",
+    "leff_timing",
+    "vt0_leak",
+    "rth",
+    "kdyn",
+    "ksta",
+    "alpha",
+    "rho",
+    "stage_mean_rel",
+    "stage_sigma_rel",
+    "power_factor",
+)
 
 
 @dataclass
@@ -49,6 +78,10 @@ class SubsystemArrays:
     ``stage_mean_rel`` already *includes* the random-variation tail and
     any technique delay scaling; ``stage_sigma_rel`` likewise includes
     tilt scaling.  Both are in units of the nominal cycle time.
+
+    All array fields share one shape: ``(n,)`` for a single phase, or
+    ``(B, n)`` for a stack of B independent phases (lanes) solved by one
+    kernel call — see :meth:`stack`.
     """
 
     vt0_timing: np.ndarray
@@ -68,21 +101,15 @@ class SubsystemArrays:
     vt_mean: float = 0.150
 
     def __post_init__(self) -> None:
-        n = self.vt0_timing.shape[0]
-        for name in (
-            "leff_timing",
-            "vt0_leak",
-            "rth",
-            "kdyn",
-            "ksta",
-            "alpha",
-            "rho",
-            "stage_mean_rel",
-            "stage_sigma_rel",
-            "power_factor",
-        ):
-            if getattr(self, name).shape != (n,):
-                raise ValueError(f"{name} must have shape ({n},)")
+        shape = self.vt0_timing.shape
+        if self.vt0_timing.ndim not in (1, 2):
+            raise ValueError(
+                "subsystem arrays must be (n,) or (batch, n), got "
+                f"shape {shape}"
+            )
+        for name in _ARRAY_FIELDS[1:]:
+            if getattr(self, name).shape != shape:
+                raise ValueError(f"{name} must have shape {shape}")
         vt_design = threshold_voltage(
             self.vt_mean,
             self.calib.t_design,
@@ -101,7 +128,77 @@ class SubsystemArrays:
         )
 
     def __len__(self) -> int:
-        return self.vt0_timing.shape[0]
+        return self.vt0_timing.shape[-1]
+
+    # -- batch-axis structure -------------------------------------------
+    @property
+    def n_subsystems(self) -> int:
+        """Subsystems (or samples) along the trailing axis."""
+        return self.vt0_timing.shape[-1]
+
+    @property
+    def is_batched(self) -> bool:
+        """True when a leading lane axis is present."""
+        return self.vt0_timing.ndim == 2
+
+    @property
+    def batch_size(self) -> int:
+        """Number of lanes (1 for an unbatched view)."""
+        return self.vt0_timing.shape[0] if self.is_batched else 1
+
+    def _scalar_fields(self) -> dict:
+        return {
+            "calib": self.calib,
+            "delay_params": self.delay_params,
+            "vt_sens": self.vt_sens,
+            "vt_mean": self.vt_mean,
+        }
+
+    @classmethod
+    def stack(cls, batches: "Sequence[SubsystemArrays]") -> "SubsystemArrays":
+        """Stack unbatched views into one ``(B, n)`` lane batch.
+
+        All members must share the calibration, delay/Vt parameters and
+        subsystem count — one kernel sweep solves the whole stack.
+        """
+        if not batches:
+            raise ValueError("need at least one batch to stack")
+        first = batches[0]
+        for member in batches:
+            if member.is_batched:
+                raise ValueError("can only stack unbatched (n,) views")
+            if len(member) != len(first):
+                raise ValueError("all stacked batches need equal n_subsystems")
+            if (
+                member.calib is not first.calib
+                or member.delay_params is not first.delay_params
+                or member.vt_sens is not first.vt_sens
+                or member.vt_mean != first.vt_mean
+            ):
+                raise ValueError(
+                    "stacked batches must share calibration and parameters"
+                )
+        arrays = {
+            name: np.stack([getattr(member, name) for member in batches])
+            for name in _ARRAY_FIELDS
+        }
+        return cls(**arrays, **first._scalar_fields())
+
+    def lanes(self) -> "SubsystemArrays":
+        """A ``(B, n)`` view of self (B=1 when unbatched)."""
+        if self.is_batched:
+            return self
+        arrays = {
+            name: getattr(self, name)[None, :] for name in _ARRAY_FIELDS
+        }
+        return SubsystemArrays(**arrays, **self._scalar_fields())
+
+    def lane_subset(self, index: np.ndarray) -> "SubsystemArrays":
+        """The batched view restricted to the given lane indices."""
+        if not self.is_batched:
+            raise ValueError("lane_subset requires a batched view")
+        arrays = {name: getattr(self, name)[index] for name in _ARRAY_FIELDS}
+        return SubsystemArrays(**arrays, **self._scalar_fields())
 
     # -- physics, broadcasting over leading knob axes -------------------
     def delay_factor(self, vdd, vbb, temp):
@@ -197,11 +294,12 @@ def budget_z(subsystems: SubsystemArrays, pe_budget: float) -> np.ndarray:
     ``pe_budget <= 0`` (no checker) demands error-free operation: the
     z-score is the design's ``z_free``.  Otherwise ``z = Qinv(budget /
     rho)``, clamped into ``[0, z_free]`` — never slower than error-free,
-    never past the distribution median.
+    never past the distribution median.  The result matches the shape of
+    ``subsystems.rho`` (``(n,)`` or ``(B, n)``).
     """
     z_free = subsystems.calib.z_free
     if pe_budget <= 0.0:
-        return np.full(len(subsystems), z_free)
+        return np.full(subsystems.rho.shape, z_free)
     rho = np.maximum(subsystems.rho, 1e-12)
     quantile = np.minimum(pe_budget / rho, 0.5)
     z = ndtri(1.0 - quantile)
@@ -210,7 +308,10 @@ def budget_z(subsystems: SubsystemArrays, pe_budget: float) -> np.ndarray:
 
 @dataclass(frozen=True)
 class FreqResult:
-    """Per-subsystem outcome of the Freq algorithm."""
+    """Per-subsystem outcome of the Freq algorithm.
+
+    For a batched call every array has a leading lane axis (``(B, n)``).
+    """
 
     f_max: np.ndarray  # hertz; max frequency each subsystem supports
     vdd: np.ndarray  # the (Vdd, Vbb) achieving it
@@ -219,10 +320,20 @@ class FreqResult:
 
     def core_frequency(self, knob_ranges: KnobRanges = DEFAULT_KNOB_RANGES) -> float:
         """MIN over subsystems, snapped down to the 100 MHz step grid."""
+        if self.f_max.ndim != 1:
+            raise ValueError("batched result: use core_frequencies()")
         return knob_ranges.clamp_frequency(float(self.f_max.min()))
+
+    def core_frequencies(
+        self, knob_ranges: KnobRanges = DEFAULT_KNOB_RANGES
+    ) -> np.ndarray:
+        """Per-lane MIN over subsystems, snapped to the step grid."""
+        return knob_ranges.clamp_frequencies(self.f_max.min(axis=-1))
 
     def min_rest(self, index: int) -> float:
         """``Min(f)_rest``: bottleneck excluding subsystem ``index``."""
+        if self.f_max.ndim != 1:
+            raise ValueError("min_rest applies to single-phase results")
         mask = np.ones(len(self.f_max), dtype=bool)
         mask[index] = False
         return float(self.f_max[mask].min())
@@ -251,67 +362,117 @@ def freq_algorithm(
     thermal-limit frequency are solved jointly (the budget period depends
     on temperature, which depends on frequency); the subsystem's
     ``f_max`` is the best feasible combination.
-    """
-    calib = subsystems.calib
-    vdd = spec.vdd_levels[:, None, None]
-    vbb = spec.vbb_levels[None, :, None]
-    z = budget_z(subsystems, spec.pe_budget)[None, None, :]
-    t_cycle = 1.0 / calib.f_nominal
 
-    f = np.full(
-        (len(spec.vdd_levels), len(spec.vbb_levels), len(subsystems)),
-        spec.knob_ranges.f_min,
-    )
+    A batched ``(B, n)`` input sweeps all B lanes in one ``(vdd, vbb, B,
+    n)`` grid; lanes whose frequencies have converged drop out of further
+    fixed-point iterations (the per-lane stopping criterion is exactly
+    the serial one, so results stay bit-identical to B separate calls).
+    """
+    batched = subsystems.is_batched
+    lanes = subsystems.lanes()
+    calib = lanes.calib
+    n = lanes.n_subsystems
+    n_lanes = lanes.batch_size
+    vdd = spec.vdd_levels[:, None, None, None]
+    vbb = spec.vbb_levels[None, :, None, None]
+    z = budget_z(lanes, spec.pe_budget)[None, None, :, :]
+    t_cycle = 1.0 / calib.f_nominal
+    grid_shape = (len(spec.vdd_levels), len(spec.vbb_levels), n_lanes, n)
+
+    f = np.full(grid_shape, spec.knob_ranges.f_min)
     temp = np.full_like(f, spec.t_heatsink + 5.0)
     obs.inc("optimizer.freq_calls")
+    obs.inc("optimizer.freq_lanes", float(n_lanes))
     obs.inc("optimizer.candidates", float(f.size))
-    # Joint fixed point over (f, T): alternate the PE-budget frequency,
-    # the thermal cap, and the temperature solution.
-    iterations = 30
-    for iteration in range(30):
-        period = subsystems.budget_period_rel(vdd, vbb, temp, z) * t_cycle
+
+    # Loop invariants: the static leakage at TMAX, the thermal headroom
+    # and the resulting thermal frequency cap depend only on the knob
+    # grid, never on the iterated (f, T) state.
+    p_sta_hot = lanes.p_static(vdd, vbb, spec.t_max)
+    headroom = spec.t_max - spec.t_heatsink - lanes.rth * p_sta_hot
+    denom = lanes.kdyn * lanes.alpha * vdd**2 * lanes.power_factor
+    with np.errstate(divide="ignore"):
+        f_thermal = np.broadcast_to(
+            np.where(headroom > 0.0, headroom / (lanes.rth * denom), 0.0),
+            grid_shape,
+        )
+
+    # Joint fixed point over (f, T) with active-lane masking: alternate
+    # the PE-budget frequency, the thermal cap and the temperature
+    # solution, retiring lanes as they converge.
+    active = np.arange(n_lanes)
+    iterations = np.full(n_lanes, _FREQ_MAX_ITERATIONS, dtype=int)
+    sub_active = lanes
+    f_active, temp_active = f, temp
+    z_active, f_thermal_active = z, f_thermal
+    for iteration in range(_FREQ_MAX_ITERATIONS):
+        period = (
+            sub_active.budget_period_rel(vdd, vbb, temp_active, z_active)
+            * t_cycle
+        )
         f_pe = 1.0 / period
-        # Thermal cap: T(f) <= TMAX with leakage evaluated at TMAX.
-        p_sta_hot = subsystems.p_static(vdd, vbb, spec.t_max)
-        headroom = spec.t_max - spec.t_heatsink - subsystems.rth * p_sta_hot
-        denom = subsystems.kdyn * subsystems.alpha * vdd**2 * subsystems.power_factor
-        with np.errstate(divide="ignore"):
-            f_thermal = np.where(
-                headroom > 0.0, headroom / (subsystems.rth * denom), 0.0
-            )
         f_new = np.clip(
-            np.minimum(f_pe, f_thermal), spec.knob_ranges.f_min, spec.knob_ranges.f_max
+            np.minimum(f_pe, f_thermal_active),
+            spec.knob_ranges.f_min,
+            spec.knob_ranges.f_max,
         )
-        temp, _ = _thermal_fixed_point(
-            subsystems, vdd, vbb, f_new, spec.t_heatsink, iterations=8
+        temp_new, _ = _thermal_fixed_point(
+            sub_active, vdd, vbb, f_new, spec.t_heatsink, iterations=8
         )
-        if np.allclose(f_new, f, rtol=1e-6):
-            f = f_new
-            iterations = iteration + 1
-            break
-        f = f_new
-    obs.observe("optimizer.freq_iterations", iterations)
+        # Convergence must be judged against the *previous* iterate, so
+        # compute it before f (which f_active may alias) is updated.
+        converged = np.all(
+            np.abs(f_new - f_active)
+            <= _CONVERGENCE_ATOL + _CONVERGENCE_RTOL * np.abs(f_active),
+            axis=(0, 1, 3),
+        )
+        f[:, :, active] = f_new
+        temp[:, :, active] = temp_new
+        if converged.any():
+            iterations[active[converged]] = iteration + 1
+            active = active[~converged]
+            if active.size == 0:
+                break
+            sub_active = lanes.lane_subset(active)
+            z_active = z[:, :, active, :]
+            f_thermal_active = f_thermal[:, :, active]
+            f_active = f[:, :, active]
+            temp_active = temp[:, :, active]
+        else:
+            f_active = f_new
+            temp_active = temp_new
+    for count in iterations:
+        obs.observe("optimizer.freq_iterations", float(count))
+    obs.inc("optimizer.freq_exhausted", float(active.size))
 
     feasible_grid = temp <= spec.t_max + 0.05
     obs.inc("optimizer.constraint_rejections", float((~feasible_grid).sum()))
     f_grid = np.where(feasible_grid, f, -np.inf)
-    flat = f_grid.reshape(-1, len(subsystems))
-    best = np.argmax(flat, axis=0)
+    flat = f_grid.reshape(-1, n_lanes, n)
+    best = np.argmax(flat, axis=0)  # per-lane argmax over the knob grid
     iv, ib = np.unravel_index(best, f_grid.shape[:2])
-    f_max = flat[best, np.arange(len(subsystems))]
+    f_max = np.take_along_axis(flat, best[None, :, :], axis=0)[0]
     feasible = np.isfinite(f_max)
     f_max = np.where(feasible, f_max, spec.knob_ranges.f_min)
+    vdd_best = spec.vdd_levels[iv]
+    vbb_best = spec.vbb_levels[ib]
+    if not batched:
+        f_max, vdd_best = f_max[0], vdd_best[0]
+        vbb_best, feasible = vbb_best[0], feasible[0]
     return FreqResult(
         f_max=f_max,
-        vdd=spec.vdd_levels[iv],
-        vbb=spec.vbb_levels[ib],
+        vdd=vdd_best,
+        vbb=vbb_best,
         feasible=feasible,
     )
 
 
 @dataclass(frozen=True)
 class PowerResult:
-    """Per-subsystem outcome of the Power algorithm at a core frequency."""
+    """Per-subsystem outcome of the Power algorithm at a core frequency.
+
+    For a batched call every array has a leading lane axis (``(B, n)``).
+    """
 
     vdd: np.ndarray
     vbb: np.ndarray
@@ -327,39 +488,70 @@ class PowerResult:
 
     def core_power(self) -> float:
         """Sum of subsystem powers in watts (excl. L2/checker)."""
+        if self.vdd.ndim != 1:
+            raise ValueError("batched result: reduce p_total per lane")
         return float(self.p_total.sum())
 
     def max_temperature(self) -> float:
         """Hottest subsystem temperature in kelvin."""
+        if self.vdd.ndim != 1:
+            raise ValueError("batched result: reduce temperature per lane")
         return float(self.temperature.max())
 
 
 def power_algorithm(
-    subsystems: SubsystemArrays, f_core: float, spec: OptimizationSpec
+    subsystems: SubsystemArrays, f_core, spec: OptimizationSpec
 ) -> PowerResult:
     """Exhaustive Power (Section 4.3.1): minimise power at ``f_core``.
 
     Each subsystem independently picks the (Vdd, Vbb) with the lowest
     total power among those that keep it within ``TMAX`` and its error
     budget at the given core frequency.
+
+    ``f_core`` may be a scalar or per-subsystem ``(n,)`` array for an
+    unbatched call; a batched ``(B, n)`` input additionally accepts a
+    per-lane ``(B,)`` vector or a full ``(B, n)`` matrix.
     """
     f_core = np.asarray(f_core, dtype=float)
     if np.any(f_core <= 0.0):
         raise ValueError("core frequency must be positive")
-    calib = subsystems.calib
-    vdd = spec.vdd_levels[:, None, None]
-    vbb = spec.vbb_levels[None, :, None]
-    z = budget_z(subsystems, spec.pe_budget)[None, None, :]
+    batched = subsystems.is_batched
+    lanes = subsystems.lanes()
+    n = lanes.n_subsystems
+    n_lanes = lanes.batch_size
+    if batched:
+        if f_core.ndim == 1:
+            if f_core.shape != (n_lanes,):
+                raise ValueError(
+                    f"per-lane f_core must have shape ({n_lanes},), got "
+                    f"{f_core.shape}"
+                )
+            freq = f_core[:, None]
+        elif f_core.ndim == 2:
+            if f_core.shape != (n_lanes, n):
+                raise ValueError(
+                    f"f_core must have shape ({n_lanes}, {n}), got "
+                    f"{f_core.shape}"
+                )
+            freq = f_core
+        else:
+            freq = f_core
+    else:
+        freq = f_core[None, :] if f_core.ndim == 1 else f_core
+    calib = lanes.calib
+    vdd = spec.vdd_levels[:, None, None, None]
+    vbb = spec.vbb_levels[None, :, None, None]
+    z = budget_z(lanes, spec.pe_budget)[None, None, :, :]
     t_cycle = 1.0 / calib.f_nominal
+    grid_shape = (len(spec.vdd_levels), len(spec.vbb_levels), n_lanes, n)
 
-    temp, p_dyn = _thermal_fixed_point(
-        subsystems, vdd, vbb, f_core, spec.t_heatsink
-    )
-    p_sta = subsystems.p_static(vdd, vbb, temp)
-    period_needed = 1.0 / f_core
-    period_have = subsystems.budget_period_rel(vdd, vbb, temp, z) * t_cycle
+    temp, p_dyn = _thermal_fixed_point(lanes, vdd, vbb, freq, spec.t_heatsink)
+    p_sta = lanes.p_static(vdd, vbb, temp)
+    period_needed = 1.0 / freq
+    period_have = lanes.budget_period_rel(vdd, vbb, temp, z) * t_cycle
     ok = (temp <= spec.t_max + 0.05) & (period_have <= period_needed * (1 + 1e-9))
     obs.inc("optimizer.power_calls")
+    obs.inc("optimizer.power_lanes", float(n_lanes))
     obs.inc("optimizer.candidates", float(ok.size))
     obs.inc("optimizer.constraint_rejections", float((~ok).sum()))
 
@@ -367,19 +559,35 @@ def power_algorithm(
     cost = np.where(ok, total, np.inf)
     # p_dyn does not depend on Vbb, so broadcast it to the full knob grid
     # before flattening alongside the cost array.
-    p_dyn = np.broadcast_to(p_dyn, cost.shape)
-    temp = np.broadcast_to(temp, cost.shape)
-    p_sta = np.broadcast_to(p_sta, cost.shape)
-    flat = cost.reshape(-1, len(subsystems))
-    best = np.argmin(flat, axis=0)
-    iv, ib = np.unravel_index(best, cost.shape[:2])
-    sub_idx = np.arange(len(subsystems))
-    feasible = np.isfinite(flat[best, sub_idx])
+    cost = np.broadcast_to(cost, grid_shape)
+    p_dyn = np.broadcast_to(p_dyn, grid_shape)
+    temp = np.broadcast_to(temp, grid_shape)
+    p_sta = np.broadcast_to(p_sta, grid_shape)
+    flat = cost.reshape(-1, n_lanes, n)
+    best = np.argmin(flat, axis=0)  # (B, n)
+    iv, ib = np.unravel_index(best, grid_shape[:2])
+    pick = best[None, :, :]
+
+    def select(grid):
+        return np.take_along_axis(
+            grid.reshape(-1, n_lanes, n), pick, axis=0
+        )[0]
+
+    feasible = np.isfinite(np.take_along_axis(flat, pick, axis=0)[0])
+    vdd_best = spec.vdd_levels[iv]
+    vbb_best = spec.vbb_levels[ib]
+    temp_best = select(temp)
+    p_dyn_best = select(p_dyn)
+    p_sta_best = select(p_sta)
+    if not batched:
+        vdd_best, vbb_best = vdd_best[0], vbb_best[0]
+        temp_best, feasible = temp_best[0], feasible[0]
+        p_dyn_best, p_sta_best = p_dyn_best[0], p_sta_best[0]
     return PowerResult(
-        vdd=spec.vdd_levels[iv],
-        vbb=spec.vbb_levels[ib],
-        temperature=temp.reshape(-1, len(subsystems))[best, sub_idx],
-        p_dynamic=p_dyn.reshape(-1, len(subsystems))[best, sub_idx],
-        p_static=p_sta.reshape(-1, len(subsystems))[best, sub_idx],
+        vdd=vdd_best,
+        vbb=vbb_best,
+        temperature=temp_best,
+        p_dynamic=p_dyn_best,
+        p_static=p_sta_best,
         feasible=feasible,
     )

@@ -12,15 +12,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..chip.chip import Core
 from ..mitigation.base import TechniqueState
-from ..thermal.solver import solve_temperatures
+from ..thermal.solver import solve_temperatures, solve_temperatures_lanes
 from ..timing.errors import stage_error_rates
-from ..timing.paths import StageDelays, stage_delays
+from ..timing.paths import StageDelays, StageModifiers, stage_delays
 
 
 class Violation(Enum):
@@ -151,3 +151,70 @@ def evaluate_configuration(
         checker_power=calib.checker_power_fraction * p_dyn_total if checker else 0.0,
         delays=delays,
     )
+
+
+def evaluate_configurations(
+    core: Core,
+    configs: Sequence[Configuration],
+    activities: Sequence[np.ndarray],
+    rhos: Sequence[np.ndarray],
+    t_heatsink: Optional[float] = None,
+    *,
+    checker: bool = True,
+) -> List[EvaluatedState]:
+    """Lane-batched :func:`evaluate_configuration` (bit-identical per lane).
+
+    Stacks many independent (configuration, workload) lanes along axis 0
+    and settles them all with one vectorised physics pass: one
+    lane-masked thermal solve, one delay-model evaluation, one
+    error-rate evaluation.  The physics is elementwise per subsystem, so
+    each returned :class:`EvaluatedState` equals what
+    :func:`evaluate_configuration` computes for that lane alone.
+    """
+    calib = core.calib
+    th = calib.t_heatsink_max if t_heatsink is None else t_heatsink
+    power_factors = np.stack(
+        [config.technique.power_factors(core) for config in configs]
+    )
+    modifiers = [config.technique.stage_modifiers(core) for config in configs]
+    stacked_modifiers = StageModifiers(
+        delay_scale=np.stack([m.delay_scale for m in modifiers]),
+        sigma_scale=np.stack([m.sigma_scale for m in modifiers]),
+    )
+    activity = np.stack(
+        [np.asarray(a, dtype=float) for a in activities]
+    ) * power_factors
+    rho = np.stack([np.asarray(r, dtype=float) for r in rhos])
+    freq = np.array([config.f_core for config in configs])[:, None]
+    vdd = np.stack([config.vdd for config in configs])
+    vbb = np.stack([config.vbb for config in configs])
+
+    solution = solve_temperatures_lanes(core, vdd, vbb, freq, activity, th)
+    p_static = solution.p_static * power_factors
+    delays = stage_delays(
+        core, vdd, vbb, solution.temperature, stacked_modifiers
+    )
+    pe = stage_error_rates(freq, delays, rho)
+    p_dyn_lane = solution.p_dynamic.sum(axis=-1)
+    l2 = core.l2_power(freq[:, 0])
+    return [
+        EvaluatedState(
+            config=config,
+            temperature=solution.temperature[lane],
+            p_dynamic=solution.p_dynamic[lane],
+            p_static=p_static[lane],
+            pe_per_subsystem=pe[lane],
+            l2_power=float(l2[lane]),
+            checker_power=(
+                calib.checker_power_fraction * float(p_dyn_lane[lane])
+                if checker
+                else 0.0
+            ),
+            delays=StageDelays(
+                mean=delays.mean[lane],
+                sigma=delays.sigma[lane],
+                z_free=delays.z_free,
+            ),
+        )
+        for lane, config in enumerate(configs)
+    ]

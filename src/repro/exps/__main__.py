@@ -109,6 +109,7 @@ def main(argv=None) -> int:
                     seed=settings.seed,
                 ),
                 cache=settings.build_cache(),
+                batch_phases=settings.batch_phases,
             )
         return runner
 

@@ -188,7 +188,7 @@ _WORKER_BANK_CACHE = None
 
 def _init_worker(
     config, calib, core_config, workloads, cache_root, bank_cache_root,
-    obs_enabled,
+    obs_enabled, batch_phases=True,
 ) -> None:
     """Build this worker's private runner (population, cores, caches).
 
@@ -219,6 +219,7 @@ def _init_worker(
         workloads=workloads,
         core_config=core_config,
         cache=cache,
+        batch_phases=batch_phases,
     )
 
 
@@ -386,6 +387,7 @@ class SupervisedExecutor:
                 str(cache.root) if cache is not None else None,
                 str(transport.root),
                 obs.enabled(),
+                runner.batch_phases,
             ),
         )
 

@@ -98,7 +98,10 @@ def run_ladder(
         parallelism = settings.jobs
         cache_dir = settings.effective_cache_dir
         use_cache = settings.cache_enabled
-    runner = runner or ExperimentRunner(RunnerConfig())
+    runner = runner or ExperimentRunner(
+        RunnerConfig(),
+        batch_phases=settings.batch_phases if settings is not None else True,
+    )
     environments = (
         list(environments) if environments is not None else list(ADAPTIVE_ENVIRONMENTS)
     )

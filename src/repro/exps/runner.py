@@ -38,6 +38,7 @@ from ..core.adaptation import (
     aggregate_static_measurement,
     evaluate_at_fixed_config,
     optimize_phase,
+    optimize_phases_batched,
 )
 from ..core.environments import (
     BASELINE,
@@ -184,12 +185,18 @@ class ExperimentRunner:
         core_config: CoreConfig = DEFAULT_CORE_CONFIG,
         *,
         cache: Optional[ExperimentCache] = None,
+        batch_phases: bool = True,
     ):
         self.config = config
         self.calib = calib
         self.workloads = list(workloads) if workloads is not None else spec2000_like_suite()
         self.core_config = core_config
         self.cache = cache
+        # Execution strategy, not physics: routing Exh-Dyn phase loops
+        # through the batched optimizer kernels is bit-identical to the
+        # per-phase loop, so it deliberately lives outside RunnerConfig
+        # (whose fields are hashed into summary cache keys).
+        self.batch_phases = bool(batch_phases)
         self._population = VariationModel().population(
             config.n_chips, seed=config.seed
         )
@@ -369,14 +376,23 @@ class ExperimentRunner:
         core_index: int,
         workloads: Optional[Sequence[WorkloadProfile]] = None,
         bank: Optional[ControllerBank] = None,
+        *,
+        batch_phases: Optional[bool] = None,
     ) -> List[PhaseResult]:
         """Run one (environment, mode, chip, core) unit of work.
 
         This is the engine's shard: both the serial loop and the pool
         workers call exactly this function, which is what makes parallel
-        runs bit-identical to serial ones.
+        runs bit-identical to serial ones.  Exh-Dyn units route every
+        phase of the suite through one stack of batched optimizer kernels
+        (:func:`~repro.core.adaptation.optimize_phases_batched`) unless
+        ``batch_phases`` (default: the runner's setting) disables it; the
+        two paths produce bit-identical :class:`PhaseResult` rows.
         """
         workloads = list(workloads) if workloads is not None else self.workloads
+        use_batch = (
+            self.batch_phases if batch_phases is None else bool(batch_phases)
+        )
         with obs.span("engine.unit", env=env.name, mode=mode.value,
                       chip=chip_index, core=core_index):
             core = self.core(chip_index, core_index)
@@ -387,6 +403,8 @@ class ExperimentRunner:
                 if mode is AdaptationMode.STATIC
                 else None
             )
+            if mode is AdaptationMode.EXH_DYN and use_batch:
+                return self._run_unit_batched(core, env, mode, workloads, bank)
             results: List[PhaseResult] = []
             for workload in workloads:
                 for profile, weight in self.phase_profiles(workload):
@@ -414,6 +432,45 @@ class ExperimentRunner:
                         )
                     )
         return results
+
+    def _run_unit_batched(
+        self,
+        core: Core,
+        env: Environment,
+        mode: AdaptationMode,
+        workloads: Sequence[WorkloadProfile],
+        bank: Optional[ControllerBank],
+    ) -> List[PhaseResult]:
+        """One unit's whole phase matrix through the batched kernels.
+
+        Measurements are gathered in exactly the serial iteration order
+        (preserving the memoisation/caching behaviour), then every phase
+        is adapted by one :func:`optimize_phases_batched` call.
+        """
+        entries = []
+        for workload in workloads:
+            for profile, weight in self.phase_profiles(workload):
+                meas_full, meas_resized = self.measurements(profile, env)
+                entries.append(
+                    (workload, profile, weight, meas_full, meas_resized)
+                )
+        with obs.span("runner.phases_batched", env=env.name,
+                      lanes=len(entries)):
+            adapted = optimize_phases_batched(
+                core,
+                env,
+                [(full, resized) for _, _, _, full, resized in entries],
+                mode=mode,
+                bank=bank,
+            )
+        return [
+            self._to_phase_result(
+                core, env, mode, workload, profile, weight, result
+            )
+            for (workload, profile, weight, _, _), result in zip(
+                entries, adapted
+            )
+        ]
 
     def novar_summary(
         self, workloads: Optional[Sequence[WorkloadProfile]] = None

@@ -23,10 +23,9 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from scipy.special import ndtri
-
 from .. import obs
 from ..chip.chip import Core
+from ..numerics import ndtri
 from ..core.optimizer import OptimizationSpec
 from ..mitigation.base import (
     BASE,
@@ -35,7 +34,7 @@ from ..mitigation.base import (
     QUEUE_FULL,
     QUEUE_RESIZED,
 )
-from .dataset import generate_training_data
+from .dataset import TrainingRequest, generate_training_datasets
 from .fuzzy import FuzzyController
 from .training import DEFAULT_N_RULES, train_fuzzy_controller
 
@@ -213,36 +212,46 @@ def train_controller_bank(
             banks for environments without).
     """
     bank = ControllerBank(spec=spec)
+    jobs: "list[Tuple[int, str]]" = []
     for index, sub in enumerate(core.floorplan.subsystems):
         variants = [BASE]
         if include_variants and sub.resizable:
             variants = [QUEUE_FULL, QUEUE_RESIZED]
         elif include_variants and sub.replicable:
             variants = [FU_NORMAL, FU_LOWSLOPE]
-        for variant in variants:
-            freq_x, f_ghz, power_x, vdd_t, vbb_t = generate_training_data(
-                core,
-                index,
-                spec,
-                n_examples=n_examples,
-                seed=seed + 1000 * index + hashish(variant),
-                **_variant_kwargs(core, variant),
+        jobs.extend((index, variant) for variant in variants)
+    # Label every (subsystem, variant) job through the batched oracle:
+    # chunks from all jobs stack along the optimizer's lane axis, so the
+    # whole bank is labelled by a handful of wide kernel calls instead of
+    # one Freq + one Power sweep per chunk per job.
+    requests = [
+        TrainingRequest(
+            index=index,
+            seed=seed + 1000 * index + hashish(variant),
+            n_examples=n_examples,
+            **_variant_kwargs(core, variant),
+        )
+        for index, variant in jobs
+    ]
+    with obs.span("ml.label_generation", jobs=len(requests)):
+        datasets = generate_training_datasets(core, spec, requests)
+    for (index, variant), data in zip(jobs, datasets):
+        freq_x, f_ghz, power_x, vdd_t, vbb_t = data
+        fc, report = train_fuzzy_controller(
+            freq_x, f_ghz, n_rules=n_rules, epochs=epochs, seed=seed + index
+        )
+        bank.freq_fcs[(index, variant)] = fc
+        bank.freq_rmse[(index, variant)] = report.final_rmse
+        if len(spec.vdd_levels) > 1:
+            fc_vdd, _ = train_fuzzy_controller(
+                power_x, vdd_t, n_rules=n_rules, epochs=epochs, seed=seed + index
             )
-            fc, report = train_fuzzy_controller(
-                freq_x, f_ghz, n_rules=n_rules, epochs=epochs, seed=seed + index
+            bank.vdd_fcs[(index, variant)] = fc_vdd
+        if len(spec.vbb_levels) > 1:
+            fc_vbb, _ = train_fuzzy_controller(
+                power_x, vbb_t, n_rules=n_rules, epochs=epochs, seed=seed + index
             )
-            bank.freq_fcs[(index, variant)] = fc
-            bank.freq_rmse[(index, variant)] = report.final_rmse
-            if len(spec.vdd_levels) > 1:
-                fc_vdd, _ = train_fuzzy_controller(
-                    power_x, vdd_t, n_rules=n_rules, epochs=epochs, seed=seed + index
-                )
-                bank.vdd_fcs[(index, variant)] = fc_vdd
-            if len(spec.vbb_levels) > 1:
-                fc_vbb, _ = train_fuzzy_controller(
-                    power_x, vbb_t, n_rules=n_rules, epochs=epochs, seed=seed + index
-                )
-                bank.vbb_fcs[(index, variant)] = fc_vbb
+            bank.vbb_fcs[(index, variant)] = fc_vbb
     return bank
 
 

@@ -26,8 +26,8 @@ see DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -185,6 +185,161 @@ def demand_feature(
     return np.asarray(f_core, dtype=float) / calib.f_nominal * period_rel
 
 
+@dataclass(frozen=True)
+class TrainingRequest:
+    """One (subsystem, configuration-variant) oracle-labelling job.
+
+    ``delay_scale`` / ``sigma_scale`` / ``power_factor`` carry the
+    technique-variant transforms (resized queue, low-slope FU) exactly
+    as the keyword arguments of :func:`generate_training_data` do.
+    """
+
+    index: int
+    seed: int
+    n_examples: int = 10000
+    delay_scale: float = 1.0
+    sigma_scale: float = 1.0
+    power_factor: float = 1.0
+
+
+@dataclass
+class _Chunk:
+    """One sampled RNG chunk of a request, awaiting oracle labels."""
+
+    request: int  # position in the request list
+    order: int  # chunk position within the request
+    samples: SampledInputs
+    arrays: SubsystemArrays
+    f_core_u: np.ndarray  # the uniform draws behind the f_core targets
+    outputs: Tuple = field(default=())
+
+
+#: Cap on (vdd-levels x vbb-levels x samples) grid cells solved by one
+#: batched oracle call — bounds peak memory of the stacked knob grid.
+MAX_LABEL_CELLS = 4_000_000
+
+
+def _sample_request_chunks(
+    core: Core, position: int, request: TrainingRequest, chunk: int
+) -> List[_Chunk]:
+    """Draw a request's RNG stream, chunk by chunk (labels come later).
+
+    The draw order per chunk — the seven :func:`sample_inputs` streams,
+    then the ``f_core`` uniforms — matches the historical interleaved
+    sample/label loop exactly, so datasets are bit-identical no matter
+    how the labelling is batched (the oracle consumes no RNG).
+    """
+    rng = np.random.default_rng(request.seed)
+    chunks: List[_Chunk] = []
+    remaining = request.n_examples
+    order = 0
+    while remaining > 0:
+        n = min(chunk, remaining)
+        remaining -= n
+        samples = sample_inputs(core, request.index, n, rng)
+        f_core_u = rng.uniform(0.0, 1.0, n)
+        arrays = _batch_arrays(
+            core,
+            request.index,
+            samples,
+            delay_scale=request.delay_scale,
+            sigma_scale=request.sigma_scale,
+            power_factor=request.power_factor,
+        )
+        chunks.append(_Chunk(position, order, samples, arrays, f_core_u))
+        order += 1
+    return chunks
+
+
+def _label_chunk_group(
+    group: List[_Chunk], spec: OptimizationSpec, calib_f_nominal: float
+) -> None:
+    """Label same-size chunks with one stacked Freq + one Power sweep."""
+    stack = SubsystemArrays.stack([c.arrays for c in group])
+    freq_result = freq_algorithm(stack, spec)
+    f_core = spec.knob_ranges.f_min + np.stack(
+        [c.f_core_u for c in group]
+    ) * (freq_result.f_max - spec.knob_ranges.f_min)
+    f_core = np.maximum(f_core, spec.knob_ranges.f_min)
+    power_result = power_algorithm(stack, f_core, spec)
+    for lane, c in enumerate(group):
+        samples = c.samples
+        slowness = demand_feature(
+            c.arrays, calib_f_nominal, samples.th, spec.pe_budget
+        )
+        freq_in = np.column_stack(
+            [slowness, samples.alpha, samples.rho, samples.th,
+             samples.vt0_leak]
+        )
+        ok = power_result.feasible[lane]
+        demand = demand_feature(
+            c.arrays, f_core[lane], samples.th, spec.pe_budget
+        )
+        c.outputs = (
+            freq_in,
+            freq_result.f_max[lane] / 1e9,
+            np.column_stack([demand[ok], samples.alpha[ok]]),
+            power_result.vdd[lane][ok],
+            power_result.vbb[lane][ok],
+        )
+
+
+def generate_training_datasets(
+    core: Core,
+    spec: OptimizationSpec,
+    requests: Sequence[TrainingRequest],
+    *,
+    chunk: int = 2500,
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Label many (subsystem, variant) training sets in batched sweeps.
+
+    All requests' sample chunks are stacked along the optimizer's lane
+    axis and labelled by a few wide Freq/Power kernel calls instead of
+    one call per chunk per request — the hot path of manufacturer-site
+    bank training.  Outputs are bit-identical to calling
+    :func:`generate_training_data` per request (the RNG streams are drawn
+    per request, and the physics is elementwise per sample).  Lanes are
+    grouped by chunk size (stacks are rectangular) and each batched call
+    is capped at :data:`MAX_LABEL_CELLS` grid cells.
+
+    Returns one ``(freq_inputs, f_max_ghz, power_inputs, vdd, vbb)``
+    tuple per request, in request order.
+    """
+    all_chunks: List[_Chunk] = []
+    for position, request in enumerate(requests):
+        all_chunks.extend(
+            _sample_request_chunks(core, position, request, chunk)
+        )
+    by_size: Dict[int, List[_Chunk]] = {}
+    for c in all_chunks:
+        by_size.setdefault(len(c.samples.th), []).append(c)
+    knob_cells = len(spec.vdd_levels) * len(spec.vbb_levels)
+    for size, members in by_size.items():
+        lanes_per_call = max(1, MAX_LABEL_CELLS // max(1, knob_cells * size))
+        for start in range(0, len(members), lanes_per_call):
+            _label_chunk_group(
+                members[start:start + lanes_per_call],
+                spec,
+                core.calib.f_nominal,
+            )
+    results = []
+    for position in range(len(requests)):
+        parts = sorted(
+            (c for c in all_chunks if c.request == position),
+            key=lambda c: c.order,
+        )
+        results.append(
+            (
+                np.vstack([c.outputs[0] for c in parts]),
+                np.concatenate([c.outputs[1] for c in parts]),
+                np.vstack([c.outputs[2] for c in parts]),
+                np.concatenate([c.outputs[3] for c in parts]),
+                np.concatenate([c.outputs[4] for c in parts]),
+            )
+        )
+    return results
+
+
 def generate_training_data(
     core: Core,
     index: int,
@@ -199,55 +354,19 @@ def generate_training_data(
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Generate one subsystem's Exhaustive-labelled training set.
 
+    A single-request convenience wrapper over
+    :func:`generate_training_datasets` (same outputs, same RNG stream).
+
     Returns:
         ``(freq_inputs, f_max_ghz, power_inputs, vdd, vbb)`` with columns
         per :data:`FREQ_INPUT_NAMES` / :data:`POWER_INPUT_NAMES`.
     """
-    rng = np.random.default_rng(seed)
-    freq_in, f_out, pow_in, vdd_out, vbb_out = [], [], [], [], []
-    remaining = n_examples
-    while remaining > 0:
-        n = min(chunk, remaining)
-        remaining -= n
-        samples = sample_inputs(core, index, n, rng)
-        batch = _batch_arrays(
-            core,
-            index,
-            samples,
-            delay_scale=delay_scale,
-            sigma_scale=sigma_scale,
-            power_factor=power_factor,
-        )
-        freq_result = freq_algorithm(batch, spec)
-        slowness = demand_feature(
-            batch, core.calib.f_nominal, samples.th, spec.pe_budget
-        )
-        freq_in.append(
-            np.column_stack(
-                [slowness, samples.alpha, samples.rho, samples.th,
-                 samples.vt0_leak]
-            )
-        )
-        f_out.append(freq_result.f_max / 1e9)
-
-        # Power targets: the deployed core frequency is the MIN over all
-        # subsystems, so this subsystem sees anything from the bottom of
-        # the legal range up to its own f_max — sample that whole span.
-        f_core = spec.knob_ranges.f_min + rng.uniform(0.0, 1.0, n) * (
-            freq_result.f_max - spec.knob_ranges.f_min
-        )
-        f_core = np.maximum(f_core, spec.knob_ranges.f_min)
-        power_result = power_algorithm(batch, f_core, spec)
-        ok = power_result.feasible
-        demand = demand_feature(batch, f_core, samples.th, spec.pe_budget)
-        pow_in.append(np.column_stack([demand[ok], samples.alpha[ok]]))
-        vdd_out.append(power_result.vdd[ok])
-        vbb_out.append(power_result.vbb[ok])
-
-    return (
-        np.vstack(freq_in),
-        np.concatenate(f_out),
-        np.vstack(pow_in),
-        np.concatenate(vdd_out),
-        np.concatenate(vbb_out),
+    request = TrainingRequest(
+        index=index,
+        seed=seed,
+        n_examples=n_examples,
+        delay_scale=delay_scale,
+        sigma_scale=sigma_scale,
+        power_factor=power_factor,
     )
+    return generate_training_datasets(core, spec, [request], chunk=chunk)[0]

@@ -1,0 +1,15 @@
+"""Shared special-function imports.
+
+The Gaussian inverse survival function ``Qinv(p) = ndtri(1 - p)`` appears
+in three places — the timing-error model (:mod:`repro.timing.errors`),
+the optimiser's error-budget inversion (:mod:`repro.core.optimizer`) and
+the fuzzy bank's demand feature (:mod:`repro.ml.bank`).  Importing it
+once here keeps the SciPy dependency surface a single line, so gating or
+replacing it (e.g. with an erfinv-based fallback) is a one-file change.
+"""
+
+from __future__ import annotations
+
+from scipy.special import ndtri
+
+__all__ = ["ndtri"]

@@ -79,6 +79,7 @@ def _run_daemon(args: argparse.Namespace, env_defaults: Settings) -> int:
             seed=settings.seed,
         ),
         cache=settings.build_cache(),
+        batch_phases=settings.batch_phases,
     )
     service = CampaignService(runner, settings=settings)
     daemon = ServiceDaemon(service, address=args.addr)

@@ -101,6 +101,7 @@ class CampaignService:
                     seed=settings.seed,
                 ),
                 cache=settings.build_cache(),
+                batch_phases=settings.batch_phases,
             )
         self.runner = runner
         self.cache = (

@@ -1,7 +1,12 @@
 """Thermal substrate: Eq 6-9 steady-state solver and sensor models."""
 
 from .sensors import SensorSpec, SensorSuite
-from .solver import T_RUNAWAY, ThermalSolution, solve_temperatures
+from .solver import (
+    T_RUNAWAY,
+    ThermalSolution,
+    solve_temperatures,
+    solve_temperatures_lanes,
+)
 
 __all__ = [
     "SensorSpec",
@@ -9,4 +14,5 @@ __all__ = [
     "T_RUNAWAY",
     "ThermalSolution",
     "solve_temperatures",
+    "solve_temperatures_lanes",
 ]

@@ -106,3 +106,63 @@ def solve_temperatures(
     return ThermalSolution(
         temperature=temp, p_dynamic=p_dyn, p_static=p_sta, converged=converged
     )
+
+
+def solve_temperatures_lanes(
+    core: Core,
+    vdd,
+    vbb,
+    freq,
+    activity,
+    t_heatsink: float,
+    max_iter: int = 60,
+    tol: float = 1e-3,
+) -> ThermalSolution:
+    """Lane-batched :func:`solve_temperatures` with convergence masking.
+
+    Axis 0 indexes independent lanes (e.g. one workload phase each), the
+    trailing axis subsystems.  Each lane retires from the iteration the
+    moment its own update falls below ``tol`` — exactly the stopping rule
+    a per-lane serial solve applies — so every lane's iterate sequence,
+    and therefore the returned solution, is bit-identical to solving that
+    lane alone.  One ``thermal.solves`` count and one
+    ``thermal.iterations`` observation is recorded per lane, keeping the
+    metrics comparable with the serial path.
+    """
+    vdd = np.asarray(vdd, dtype=float)
+    vbb = np.asarray(vbb, dtype=float)
+    freq = np.asarray(freq, dtype=float)
+    activity = np.asarray(activity, dtype=float)
+
+    p_dyn = core.subsystem_dynamic_power(vdd, freq, activity)
+    shape = np.broadcast_shapes(p_dyn.shape, vbb.shape)
+    p_dyn = np.broadcast_to(p_dyn, shape).copy()
+    n_lanes = shape[0]
+    vdd_b = np.broadcast_to(vdd, shape)
+    vbb_b = np.broadcast_to(vbb, shape)
+
+    temp = np.full(shape, t_heatsink + 5.0)
+    iterations = np.full(n_lanes, max_iter, dtype=int)
+    active = np.arange(n_lanes)
+    for iteration in range(max_iter):
+        p_sta = core.subsystem_static_power(
+            vdd_b[active], vbb_b[active], temp[active]
+        )
+        new_temp = t_heatsink + core.rth * (p_dyn[active] + p_sta)
+        new_temp = np.minimum(new_temp, T_RUNAWAY)
+        delta = np.max(np.abs(new_temp - temp[active]), axis=-1)
+        temp[active] = new_temp
+        converged = delta < tol
+        if np.any(converged):
+            iterations[active[converged]] = iteration + 1
+            active = active[~converged]
+        if active.size == 0:
+            break
+    obs.inc("thermal.solves", float(n_lanes))
+    for count in iterations:
+        obs.observe("thermal.iterations", float(count))
+    p_sta = core.subsystem_static_power(vdd_b, vbb_b, temp)
+    converged = temp < T_RUNAWAY - tol
+    return ThermalSolution(
+        temperature=temp, p_dynamic=p_dyn, p_static=p_sta, converged=converged
+    )

@@ -13,8 +13,9 @@ work-horse of the Freq algorithm (Section 4.2).
 from __future__ import annotations
 
 import numpy as np
-from scipy.special import ndtri
 from scipy.stats import norm
+
+from ..numerics import ndtri
 
 from .paths import StageDelays
 

@@ -158,6 +158,14 @@ class TestKnobRanges:
         kr = DEFAULT_KNOB_RANGES
         assert kr.clamp_frequency(3.3e9) == pytest.approx(3.3e9)
 
+    def test_clamp_frequencies_matches_scalar(self):
+        kr = DEFAULT_KNOB_RANGES
+        freqs = np.array([1e9, kr.f_min, 3.3e9, 4.06e9, 1e12, kr.f_max])
+        vectorised = kr.clamp_frequencies(freqs)
+        assert vectorised.shape == freqs.shape
+        for got, f in zip(vectorised, freqs):
+            assert got == kr.clamp_frequency(float(f))
+
     def test_operating_point_validation(self):
         with pytest.raises(ValueError):
             OperatingPoint(vdd=0.0)

@@ -19,7 +19,9 @@ from repro.core import (
     aggregate_static_measurement,
     by_name,
     evaluate_configuration,
+    evaluate_configurations,
     optimize_phase,
+    optimize_phases_batched,
     retune,
 )
 from repro.microarch import DEFAULT_CORE_CONFIG, measure_workload
@@ -121,6 +123,45 @@ class TestEvaluateConfiguration:
             core, config, int_measurement.activity, int_measurement.rho
         )
         assert state.violation(core) is Violation.NONE
+
+    def test_batched_matches_serial(self, core, int_measurement, fp_measurement):
+        configs = [
+            self.make_config(core, f=2.4e9),
+            self.make_config(core, f=3.2e9, vdd=1.1),
+            self.make_config(core, f=2.8e9, vdd=0.9),
+        ]
+        workloads = [int_measurement, fp_measurement, int_measurement]
+        batched = evaluate_configurations(
+            core,
+            configs,
+            [m.activity for m in workloads],
+            [m.rho for m in workloads],
+        )
+        for config, meas, got in zip(configs, workloads, batched):
+            want = evaluate_configuration(
+                core, config, meas.activity, meas.rho
+            )
+            assert np.array_equal(got.temperature, want.temperature)
+            assert np.array_equal(got.p_dynamic, want.p_dynamic)
+            assert np.array_equal(got.p_static, want.p_static)
+            assert np.array_equal(
+                got.pe_per_subsystem, want.pe_per_subsystem
+            )
+            assert got.l2_power == want.l2_power
+            assert got.checker_power == want.checker_power
+            assert np.array_equal(got.delays.mean, want.delays.mean)
+            assert np.array_equal(got.delays.sigma, want.delays.sigma)
+
+    def test_batched_checker_flag(self, core, int_measurement):
+        configs = [self.make_config(core), self.make_config(core, f=2.4e9)]
+        states = evaluate_configurations(
+            core,
+            configs,
+            [int_measurement.activity] * 2,
+            [int_measurement.rho] * 2,
+            checker=False,
+        )
+        assert all(s.checker_power == 0.0 for s in states)
 
     def test_lowslope_burns_more_power(self, core, int_measurement):
         base = self.make_config(core)
@@ -257,3 +298,110 @@ class TestOptimizePhase:
         stacked = np.maximum(int_measurement.activity, fp_measurement.activity)
         assert np.all(agg.activity <= stacked + 1e-12)
         assert agg.domain == "int"
+
+
+def _assert_results_identical(batched, serial):
+    """Every field of an AdaptationResult must match bit-for-bit."""
+    assert len(batched) == len(serial)
+    for got, want in zip(batched, serial):
+        assert got.f_core == want.f_core
+        assert got.f_controller == want.f_controller
+        assert got.outcome is want.outcome
+        assert np.array_equal(got.config.vdd, want.config.vdd)
+        assert np.array_equal(got.config.vbb, want.config.vbb)
+        assert got.performance_ips == want.performance_ips
+        assert got.state.total_power == want.state.total_power
+        assert got.state.pe_total == want.state.pe_total
+        assert np.array_equal(got.state.temperature, want.state.temperature)
+        assert np.array_equal(got.state.p_static, want.state.p_static)
+        assert np.array_equal(
+            got.state.delays.mean, want.state.delays.mean
+        )
+        assert got.measurement is want.measurement
+
+
+class TestOptimizePhasesBatched:
+    """Golden tests: the batched path reproduces the per-phase loop."""
+
+    def test_matches_serial_ts_asv(self, core, int_measurement, fp_measurement):
+        phases = [(int_measurement, None), (fp_measurement, None)]
+        serial = [
+            optimize_phase(core, TS_ASV, meas) for meas, _ in phases
+        ]
+        batched = optimize_phases_batched(core, TS_ASV, phases)
+        _assert_results_identical(batched, serial)
+
+    def test_matches_serial_with_queue_resize(self, core, q_measurements):
+        full, resized = q_measurements
+        phases = [(full, resized), (full, resized)]
+        serial = [
+            optimize_phase(core, TS_ASV_Q, meas, rs) for meas, rs in phases
+        ]
+        batched = optimize_phases_batched(core, TS_ASV_Q, phases)
+        _assert_results_identical(batched, serial)
+
+    def test_matches_serial_with_low_slope_fu(self, core, fu_measurements):
+        full, resized = fu_measurements
+        phases = [(full, resized), (full, resized), (full, resized)]
+        serial = [
+            optimize_phase(core, TS_ASV_Q_FU, meas, rs)
+            for meas, rs in phases
+        ]
+        batched = optimize_phases_batched(core, TS_ASV_Q_FU, phases)
+        _assert_results_identical(batched, serial)
+
+    def test_matches_serial_mixed_phases(
+        self, core, other_core, int_measurement, fp_measurement
+    ):
+        phases = [
+            (int_measurement, None),
+            (fp_measurement, None),
+            (int_measurement, None),
+        ]
+        for which in (core, other_core):
+            serial = [
+                optimize_phase(which, TS, meas) for meas, _ in phases
+            ]
+            batched = optimize_phases_batched(which, TS, phases)
+            _assert_results_identical(batched, serial)
+
+    def test_retune_disabled_matches_serial(self, core, int_measurement, fp_measurement):
+        phases = [(int_measurement, None), (fp_measurement, None)]
+        serial = [
+            optimize_phase(core, TS_ASV, meas, retune_enabled=False)
+            for meas, _ in phases
+        ]
+        batched = optimize_phases_batched(
+            core, TS_ASV, phases, retune_enabled=False
+        )
+        _assert_results_identical(batched, serial)
+
+    def test_queue_env_requires_resized_measurements(self, core, int_measurement):
+        with pytest.raises(ValueError, match="resize"):
+            optimize_phases_batched(
+                core,
+                TS_ASV_Q,
+                [(int_measurement, None), (int_measurement, None)],
+            )
+
+    def test_single_phase_falls_back_to_serial(self, core, int_measurement):
+        serial = optimize_phase(core, TS_ASV, int_measurement)
+        (batched,) = optimize_phases_batched(
+            core, TS_ASV, [(int_measurement, None)]
+        )
+        _assert_results_identical([batched], [serial])
+
+    def test_fuzzy_mode_falls_back_to_serial(self, core, int_measurement, tiny_bank):
+        phases = [(int_measurement, None), (int_measurement, None)]
+        serial = [
+            optimize_phase(
+                core, TS_ASV, meas,
+                mode=AdaptationMode.FUZZY_DYN, bank=tiny_bank,
+            )
+            for meas, _ in phases
+        ]
+        batched = optimize_phases_batched(
+            core, TS_ASV, phases,
+            mode=AdaptationMode.FUZZY_DYN, bank=tiny_bank,
+        )
+        _assert_results_identical(batched, serial)

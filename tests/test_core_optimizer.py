@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core import (
     BASELINE,
     TS,
@@ -13,6 +14,8 @@ from repro.core import (
     freq_algorithm,
     power_algorithm,
 )
+from repro.core.optimizer import SubsystemArrays
+from repro.obs import MetricsRegistry
 from repro.timing import StageModifiers
 
 
@@ -21,6 +24,42 @@ def subs(core, int_measurement):
     return core_subsystem_arrays(
         core, int_measurement.activity, int_measurement.rho
     )
+
+
+@pytest.fixture(scope="module")
+def lanes(core, int_measurement, fp_measurement):
+    """Four lanes with distinct physics (mix of workloads and variants)."""
+    n = core.n_subsystems
+    slow = np.ones(n)
+    slow[3] = 0.92
+    tilt = np.ones(n)
+    tilt[5] = np.sqrt(2.0)
+    return [
+        core_subsystem_arrays(
+            core, int_measurement.activity, int_measurement.rho
+        ),
+        core_subsystem_arrays(
+            core, fp_measurement.activity, fp_measurement.rho
+        ),
+        core_subsystem_arrays(
+            core,
+            int_measurement.activity,
+            int_measurement.rho,
+            StageModifiers(delay_scale=slow, sigma_scale=np.ones(n)),
+        ),
+        core_subsystem_arrays(
+            core,
+            fp_measurement.activity,
+            fp_measurement.rho,
+            StageModifiers(delay_scale=np.ones(n), sigma_scale=tilt),
+        ),
+        # A nearly idle phase: weak thermal feedback, so its joint
+        # (f, T) fixed point converges in fewer iterations than the
+        # active lanes — exercising the masked early retirement.
+        core_subsystem_arrays(
+            core, int_measurement.activity * 0.05, int_measurement.rho
+        ),
+    ]
 
 
 class TestBudgetZ:
@@ -141,3 +180,157 @@ class TestPowerAlgorithm:
     def test_rejects_nonpositive_frequency(self, subs, asv_spec):
         with pytest.raises(ValueError):
             power_algorithm(subs, 0.0, asv_spec)
+
+
+class TestSubsystemArraysBatch:
+    def test_stack_shapes_and_flags(self, lanes):
+        stack = SubsystemArrays.stack(lanes)
+        assert stack.is_batched
+        assert stack.batch_size == len(lanes)
+        assert stack.n_subsystems == len(lanes[0])
+        assert stack.stage_mean_rel.shape == (len(lanes), len(lanes[0]))
+
+    def test_unbatched_view_is_not_batched(self, subs):
+        assert not subs.is_batched
+        assert subs.batch_size == 1
+
+    def test_lanes_view_adds_singleton_axis(self, subs):
+        view = subs.lanes()
+        assert view.is_batched
+        assert view.batch_size == 1
+        assert np.array_equal(view.alpha[0], subs.alpha)
+
+    def test_stack_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SubsystemArrays.stack([])
+
+    def test_stack_rejects_already_batched(self, lanes):
+        stack = SubsystemArrays.stack(lanes)
+        with pytest.raises(ValueError):
+            SubsystemArrays.stack([stack])
+
+    def test_lane_subset_requires_batched(self, subs):
+        with pytest.raises(ValueError):
+            subs.lane_subset(np.array([0]))
+
+    def test_lane_subset_selects_rows(self, lanes):
+        stack = SubsystemArrays.stack(lanes)
+        subset = stack.lane_subset(np.array([2, 0]))
+        assert subset.batch_size == 2
+        assert np.array_equal(subset.rho[0], lanes[2].rho)
+        assert np.array_equal(subset.rho[1], lanes[0].rho)
+
+    def test_rejects_mismatched_field_shapes(self, subs):
+        with pytest.raises(ValueError):
+            SubsystemArrays(
+                vt0_timing=subs.vt0_timing,
+                leff_timing=subs.leff_timing,
+                vt0_leak=subs.vt0_leak,
+                rth=subs.rth,
+                kdyn=subs.kdyn,
+                ksta=subs.ksta,
+                alpha=subs.alpha[:-1],
+                rho=subs.rho,
+                stage_mean_rel=subs.stage_mean_rel,
+                stage_sigma_rel=subs.stage_sigma_rel,
+                power_factor=subs.power_factor,
+            )
+
+
+class TestBatchedFreqAlgorithm:
+    def test_bit_identical_to_serial(self, lanes, asv_spec):
+        stack = SubsystemArrays.stack(lanes)
+        batched = freq_algorithm(stack, asv_spec)
+        for lane, member in enumerate(lanes):
+            serial = freq_algorithm(member, asv_spec)
+            assert np.array_equal(batched.f_max[lane], serial.f_max)
+            assert np.array_equal(batched.vdd[lane], serial.vdd)
+            assert np.array_equal(batched.vbb[lane], serial.vbb)
+            assert np.array_equal(batched.feasible[lane], serial.feasible)
+
+    def test_core_frequencies_match_serial(self, lanes, asv_spec):
+        stack = SubsystemArrays.stack(lanes)
+        batched = freq_algorithm(stack, asv_spec)
+        freqs = batched.core_frequencies(asv_spec.knob_ranges)
+        assert freqs.shape == (len(lanes),)
+        for lane, member in enumerate(lanes):
+            serial = freq_algorithm(member, asv_spec)
+            assert freqs[lane] == serial.core_frequency(asv_spec.knob_ranges)
+
+    def test_batched_result_rejects_scalar_accessors(self, lanes, asv_spec):
+        result = freq_algorithm(SubsystemArrays.stack(lanes), asv_spec)
+        with pytest.raises(ValueError):
+            result.core_frequency()
+        with pytest.raises(ValueError):
+            result.min_rest(0)
+
+    def test_convergence_masking_matches_serial_iterations(
+        self, lanes, asv_spec
+    ):
+        # Lanes with different physics converge at different speeds; the
+        # masked joint fixed point must retire each lane after exactly as
+        # many iterations as a serial call on that lane alone takes.
+        def freq_iteration_values(arrays):
+            with obs.scoped(MetricsRegistry()) as registry:
+                freq_algorithm(arrays, asv_spec)
+                doc = registry.to_dict()
+            return doc["histograms"]["optimizer.freq_iterations"]["values"]
+
+        serial_counts = [
+            freq_iteration_values(member)[0] for member in lanes
+        ]
+        batched_counts = freq_iteration_values(SubsystemArrays.stack(lanes))
+        assert batched_counts == serial_counts
+        assert len(set(serial_counts)) > 1  # speeds genuinely differ
+
+    def test_lane_counters(self, lanes, asv_spec):
+        with obs.scoped(MetricsRegistry()) as registry:
+            freq_algorithm(SubsystemArrays.stack(lanes), asv_spec)
+            counters = registry.to_dict()["counters"]
+        assert counters["optimizer.freq_calls"] == 1
+        assert counters["optimizer.freq_lanes"] == len(lanes)
+
+
+class TestBatchedPowerAlgorithm:
+    def test_bit_identical_to_serial(self, lanes, asv_spec):
+        stack = SubsystemArrays.stack(lanes)
+        f_cores = np.array(
+            [
+                freq_algorithm(member, asv_spec).core_frequency()
+                for member in lanes
+            ]
+        )
+        batched = power_algorithm(stack, f_cores, asv_spec)
+        for lane, member in enumerate(lanes):
+            serial = power_algorithm(member, float(f_cores[lane]), asv_spec)
+            assert np.array_equal(batched.vdd[lane], serial.vdd)
+            assert np.array_equal(batched.vbb[lane], serial.vbb)
+            assert np.array_equal(
+                batched.temperature[lane], serial.temperature
+            )
+            assert np.array_equal(batched.p_dynamic[lane], serial.p_dynamic)
+            assert np.array_equal(batched.p_static[lane], serial.p_static)
+            assert np.array_equal(batched.feasible[lane], serial.feasible)
+
+    def test_accepts_per_lane_matrix(self, lanes, asv_spec):
+        stack = SubsystemArrays.stack(lanes)
+        f = np.full((len(lanes), len(lanes[0])), 3.0e9)
+        result = power_algorithm(stack, f, asv_spec)
+        assert result.vdd.shape == (len(lanes), len(lanes[0]))
+
+    def test_rejects_wrong_lane_vector_shape(self, lanes, asv_spec):
+        stack = SubsystemArrays.stack(lanes)
+        with pytest.raises(ValueError):
+            power_algorithm(stack, np.full(len(lanes) + 1, 3.0e9), asv_spec)
+        with pytest.raises(ValueError):
+            power_algorithm(
+                stack, np.full((len(lanes), 3), 3.0e9), asv_spec
+            )
+
+    def test_batched_result_rejects_scalar_accessors(self, lanes, asv_spec):
+        stack = SubsystemArrays.stack(lanes)
+        result = power_algorithm(stack, np.full(len(lanes), 3.0e9), asv_spec)
+        with pytest.raises(ValueError):
+            result.core_power()
+        with pytest.raises(ValueError):
+            result.max_temperature()

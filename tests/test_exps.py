@@ -15,7 +15,7 @@ from repro.exps import (
     run_fig9,
     run_ladder,
 )
-from repro.exps.runner import RunnerConfig
+from repro.exps.runner import ExperimentRunner, RunnerConfig
 
 
 class TestRunner:
@@ -61,6 +61,28 @@ class TestRunner:
 
     def test_core_cache(self, tiny_runner):
         assert tiny_runner.core(0, 0) is tiny_runner.core(0, 0)
+
+    def test_batched_unit_matches_serial(self, tiny_runner):
+        serial = tiny_runner.run_unit(
+            TS_ASV, AdaptationMode.EXH_DYN, 0, 0, batch_phases=False
+        )
+        batched = tiny_runner.run_unit(
+            TS_ASV, AdaptationMode.EXH_DYN, 0, 0, batch_phases=True
+        )
+        assert batched == serial
+
+    def test_batch_phases_is_runner_strategy_not_config(self, tiny_runner):
+        # Execution strategy must not leak into the hashed RunnerConfig.
+        assert tiny_runner.batch_phases
+        assert not hasattr(RunnerConfig(), "batch_phases")
+        runner = ExperimentRunner(
+            RunnerConfig(
+                n_chips=1, cores_per_chip=1, n_instructions=2000,
+                fuzzy_examples=300, fuzzy_epochs=1,
+            ),
+            batch_phases=False,
+        )
+        assert not runner.batch_phases
 
 
 class TestLadder:

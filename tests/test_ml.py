@@ -9,7 +9,12 @@ from repro.ml import (
     sample_inputs,
     train_fuzzy_controller,
 )
-from repro.ml.dataset import demand_feature, _batch_arrays
+from repro.ml.dataset import (
+    TrainingRequest,
+    demand_feature,
+    generate_training_datasets,
+    _batch_arrays,
+)
 
 
 def _simple_fc():
@@ -151,6 +156,48 @@ class TestDataset:
         low = demand_feature(batch, 3e9, samples.th, asv_spec.pe_budget)
         high = demand_feature(batch, 4.5e9, samples.th, asv_spec.pe_budget)
         assert np.all(high > low)
+
+    def test_multi_request_labeling_matches_single(self, core, asv_spec):
+        requests = [
+            TrainingRequest(index=0, seed=7, n_examples=300),
+            TrainingRequest(index=2, seed=8, n_examples=450, delay_scale=0.9),
+            TrainingRequest(index=0, seed=9, n_examples=300, power_factor=1.3),
+        ]
+        joint = generate_training_datasets(
+            core, asv_spec, requests, chunk=200
+        )
+        assert len(joint) == len(requests)
+        for request, got in zip(requests, joint):
+            want = generate_training_data(
+                core,
+                request.index,
+                asv_spec,
+                n_examples=request.n_examples,
+                seed=request.seed,
+                delay_scale=request.delay_scale,
+                sigma_scale=request.sigma_scale,
+                power_factor=request.power_factor,
+                chunk=200,
+            )
+            assert len(got) == len(want) == 5
+            for got_part, want_part in zip(got, want):
+                assert np.array_equal(got_part, want_part)
+
+    def test_labeling_invariant_to_request_grouping(self, core, asv_spec):
+        # Batching lanes across *requests* must not perturb any request's
+        # RNG stream or labels: a request labelled alongside others is
+        # bit-identical to the same request labelled alone.
+        requests = [
+            TrainingRequest(index=1, seed=3, n_examples=240),
+            TrainingRequest(index=4, seed=5, n_examples=240),
+        ]
+        joint = generate_training_datasets(core, asv_spec, requests, chunk=120)
+        for request, got in zip(requests, joint):
+            alone = generate_training_datasets(
+                core, asv_spec, [request], chunk=120
+            )[0]
+            for got_part, want_part in zip(got, alone):
+                assert np.array_equal(got_part, want_part)
 
 
 class TestBank:

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.thermal import SensorSpec, SensorSuite, solve_temperatures
+from repro import obs
+from repro.obs import MetricsRegistry
+from repro.thermal import (
+    SensorSpec,
+    SensorSuite,
+    solve_temperatures,
+    solve_temperatures_lanes,
+)
 
 
 class TestSolver:
@@ -66,6 +73,74 @@ class TestSolver:
         )
         assert sol.temperature.shape == (3, n)
         assert np.all(np.diff(sol.temperature, axis=0) > 0)
+
+
+class TestLaneSolver:
+    def lane_inputs(self, core):
+        """Three lanes with distinct voltages, frequencies and activity."""
+        n = core.n_subsystems
+        vdd = np.stack([np.full(n, 0.9), np.full(n, 1.0), np.full(n, 1.15)])
+        vbb = np.stack([np.zeros(n), np.full(n, 0.2), np.full(n, -0.3)])
+        freq = np.array([2.4e9, 4.0e9, 4.8e9])[:, None]
+        activity = np.stack(
+            [core.alpha_ref * 0.05, core.alpha_ref, core.alpha_ref * 2.0]
+        )
+        return vdd, vbb, freq, activity
+
+    def test_matches_serial_per_lane(self, core):
+        vdd, vbb, freq, activity = self.lane_inputs(core)
+        batched = solve_temperatures_lanes(
+            core, vdd, vbb, freq, activity, 343.15
+        )
+        for lane in range(3):
+            serial = solve_temperatures(
+                core,
+                vdd[lane],
+                vbb[lane],
+                float(freq[lane, 0]),
+                activity[lane],
+                343.15,
+            )
+            assert np.array_equal(
+                batched.temperature[lane], serial.temperature
+            )
+            assert np.array_equal(batched.p_dynamic[lane], serial.p_dynamic)
+            assert np.array_equal(batched.p_static[lane], serial.p_static)
+            assert np.array_equal(batched.converged[lane], serial.converged)
+
+    def test_metrics_match_serial_per_lane(self, core):
+        vdd, vbb, freq, activity = self.lane_inputs(core)
+
+        def iteration_values(run):
+            with obs.scoped(MetricsRegistry()) as registry:
+                run()
+                doc = registry.to_dict()
+            return (
+                doc["counters"]["thermal.solves"],
+                doc["histograms"]["thermal.iterations"]["values"],
+            )
+
+        serial_values = []
+        for lane in range(3):
+            solves, values = iteration_values(
+                lambda lane=lane: solve_temperatures(
+                    core,
+                    vdd[lane],
+                    vbb[lane],
+                    float(freq[lane, 0]),
+                    activity[lane],
+                    343.15,
+                )
+            )
+            assert solves == 1
+            serial_values.extend(values)
+        solves, batched_values = iteration_values(
+            lambda: solve_temperatures_lanes(
+                core, vdd, vbb, freq, activity, 343.15
+            )
+        )
+        assert solves == 3
+        assert batched_values == serial_values
 
 
 class TestSensors:
