@@ -66,9 +66,10 @@ from .obs import (
     metrics_registry,
     span,
 )
+from . import variation
 from .variation import VariationModel
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ADAPTIVE_ENVIRONMENTS",
@@ -105,6 +106,7 @@ __all__ = [
     "quick_adapt",
     "span",
     "spec2000_like_suite",
+    "variation",
 ]
 
 

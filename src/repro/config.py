@@ -26,6 +26,12 @@ Recognised environment variables::
                             loop (``--serial-phases``) instead of the
                             batched kernels; bit-identical, for perf
                             baselining and debugging
+    EVAL_REPRO_SHARED_MEM   ``0``/``false``/``no``/``off`` disables the
+                            shared-memory population broadcast to pool
+                            workers (``--no-shared-mem``); any other
+                            non-empty value enables it.  Bit-identical
+                            either way — workers fall back to the
+                            deterministic rebuild.
 
 Campaign-service knobs (see :mod:`repro.serve`)::
 
@@ -61,6 +67,7 @@ class Settings:
     log_json: bool = False
     metrics_out: Optional[str] = None
     batch_phases: bool = True
+    shared_mem: bool = True
     service_addr: Optional[str] = None
     service_max_jobs: int = 8
     service_retries: int = 1
@@ -111,6 +118,12 @@ class Settings:
             raw = env.get(name)
             return float(raw) if raw not in (None, "") else fallback
 
+        def tristate(name: str, fallback: bool) -> bool:
+            raw = env.get(name)
+            if raw in (None, ""):
+                return fallback
+            return raw.strip().lower() not in ("0", "false", "no", "off")
+
         return cls(
             jobs=integer("EVAL_REPRO_JOBS", base.jobs),
             cache_dir=text("EVAL_REPRO_CACHE", base.cache_dir),
@@ -125,6 +138,7 @@ class Settings:
             batch_phases=not flag(
                 "EVAL_REPRO_SERIAL_PHASES", not base.batch_phases
             ),
+            shared_mem=tristate("EVAL_REPRO_SHARED_MEM", base.shared_mem),
             service_addr=text("EVAL_REPRO_SERVICE", base.service_addr),
             service_max_jobs=integer(
                 "EVAL_REPRO_SERVICE_MAX_JOBS", base.service_max_jobs
@@ -169,6 +183,7 @@ class Settings:
             metrics_out=take("metrics_out", base.metrics_out),
             batch_phases=base.batch_phases
             and not getattr(args, "serial_phases", False),
+            shared_mem=take("shared_mem", base.shared_mem),
             service_addr=take("service", base.service_addr),
             service_max_jobs=take("service_max_jobs", base.service_max_jobs),
             service_retries=take("service_retries", base.service_retries),
@@ -227,6 +242,14 @@ class Settings:
             help="route Exh-Dyn phase optimisation through the per-phase "
                  "serial loop instead of the batched kernels "
                  "(bit-identical; for perf baselining)",
+        )
+        parser.add_argument(
+            "--shared-mem",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help="broadcast the chip population to --jobs N workers over "
+                 "shared memory instead of rebuilding it per worker "
+                 "(bit-identical; default: $EVAL_REPRO_SHARED_MEM or on)",
         )
 
     @staticmethod

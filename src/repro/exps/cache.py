@@ -10,6 +10,10 @@ and across worker processes:
   through the :mod:`repro.ml.persistence` ``.npz`` round trip).
 * **Suite summaries** — whole (environment, mode) cells of Figures 10-12,
   stored in the :meth:`repro.exps.runner.SuiteSummary.to_json` wire format.
+* **Correlation factors** — the O(n^3) Cholesky factor of the VARIUS
+  within-die correlation matrix, identical for every campaign sharing a
+  die grid and ``phi`` (served into the process-wide memo of
+  :mod:`repro.variation.factors` through :class:`FactorStore`).
 
 Every artifact is addressed by a SHA-256 of its *inputs*: the calibration
 constants, the runner scale knobs, the workload/phase fingerprint, and the
@@ -23,6 +27,7 @@ Layout under the cache root::
     measurements/<key>.npz   arrays + JSON metadata
     banks/<key>.npz          repro.ml.persistence archives
     summaries/<key>.json     SuiteSummary wire format
+    factors/<key>.npz        correlation factors (single array)
 """
 
 from __future__ import annotations
@@ -135,6 +140,21 @@ def bank_key(
     })
 
 
+def factor_key(key_data: Sequence[Any]) -> str:
+    """Cache key for one correlation factor.
+
+    ``key_data`` is the tuple produced by
+    :func:`repro.variation.factors.factor_key_data` — the grid geometry
+    plus ``phi`` and the diagonal jitter, i.e. everything the factor
+    depends on.
+    """
+    return stable_hash({
+        "version": CACHE_FORMAT_VERSION,
+        "kind": "factor",
+        "key_data": list(key_data),
+    })
+
+
 def unit_key(cell_key: str, chip_index: int, core_index: int) -> str:
     """Derive one (chip, core) unit's coalescing key from its cell's key.
 
@@ -176,10 +196,14 @@ class CacheStats:
     """Hit/miss counters, per artifact kind."""
 
     hits: Dict[str, int] = dataclasses.field(
-        default_factory=lambda: {"measurement": 0, "bank": 0, "summary": 0}
+        default_factory=lambda: {
+            "measurement": 0, "bank": 0, "summary": 0, "factor": 0,
+        }
     )
     misses: Dict[str, int] = dataclasses.field(
-        default_factory=lambda: {"measurement": 0, "bank": 0, "summary": 0}
+        default_factory=lambda: {
+            "measurement": 0, "bank": 0, "summary": 0, "factor": 0,
+        }
     )
 
     def record(self, kind: str, hit: bool) -> None:
@@ -198,7 +222,7 @@ class ExperimentCache:
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.stats = CacheStats()
-        for sub in ("measurements", "banks", "summaries"):
+        for sub in ("measurements", "banks", "summaries", "factors"):
             (self.root / sub).mkdir(parents=True, exist_ok=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -311,6 +335,27 @@ class ExperimentCache:
         self._atomic_replace(lambda tmp: save_bank(bank, tmp), path)
         self._note_write("bank", path, existed)
 
+    # -- correlation factors ---------------------------------------------
+    def load_factor(self, key: str) -> Optional[np.ndarray]:
+        """Return a cached correlation factor, or ``None`` on a miss."""
+
+        def parse(path: Path) -> np.ndarray:
+            with np.load(path) as archive:
+                return archive["factor"]
+
+        return self._load_guarded(
+            "factor", self._path("factors", key, ".npz"), parse
+        )
+
+    def save_factor(self, key: str, factor: np.ndarray) -> None:
+        """Store one correlation factor as a single-array archive."""
+        path = self._path("factors", key, ".npz")
+        existed = path.exists()
+        self._atomic_replace(
+            lambda tmp: np.savez(tmp, factor=np.asarray(factor)), path
+        )
+        self._note_write("factor", path, existed)
+
     # -- suite summaries -------------------------------------------------
     def load_summary(self, key: str):
         """Return a cached :class:`SuiteSummary`, or ``None`` on a miss."""
@@ -329,3 +374,31 @@ class ExperimentCache:
         existed = path.exists()
         self._atomic_replace(lambda tmp: tmp.write_text(text), path)
         self._note_write("summary", path, existed)
+
+
+class FactorStore:
+    """Adapter giving :mod:`repro.variation.factors` durable storage.
+
+    The variation layer sits below the engine, so it cannot import this
+    module; instead it accepts any object with ``load(key_data)`` /
+    ``save(key_data, factor)``.  This adapter closes the loop: it turns
+    the physics-level key tuple into a content-addressed cache key and
+    delegates to an :class:`ExperimentCache`.  Install it with::
+
+        from repro import variation
+        variation.set_store(FactorStore(cache))
+    """
+
+    def __init__(self, cache: ExperimentCache):
+        self.cache = cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FactorStore({self.cache!r})"
+
+    def load(self, key_data: Sequence[Any]) -> Optional[np.ndarray]:
+        """Return the stored factor for ``key_data``, or ``None``."""
+        return self.cache.load_factor(factor_key(key_data))
+
+    def save(self, key_data: Sequence[Any], factor: np.ndarray) -> None:
+        """Persist ``factor`` under ``key_data``."""
+        self.cache.save_factor(factor_key(key_data), factor)

@@ -126,6 +126,13 @@ class RunSpec:
             the runner's configured cache (if any).
         use_cache: ``False`` disables the disk cache entirely (the
             ``--no-cache`` flag); in-memory memoisation still applies.
+        shared_mem: Broadcast the sampled population and correlation
+            factor to pool workers through one shared-memory segment
+            (zero-copy) instead of having every worker rebuild them.
+            Purely an execution knob — results are bit-identical either
+            way, and any shared-memory failure silently falls back to
+            the deterministic rebuild — so, like ``parallelism``, it
+            stays outside the hashed cache keys.
     """
 
     environments: Tuple[Environment, ...]
@@ -134,6 +141,7 @@ class RunSpec:
     parallelism: int = 1
     cache_dir: Optional[str] = None
     use_cache: bool = True
+    shared_mem: bool = True
 
     def __post_init__(self) -> None:
         envs = self.environments
@@ -184,11 +192,15 @@ class RunResult:
 # ----------------------------------------------------------------------
 _WORKER_RUNNER = None
 _WORKER_BANK_CACHE = None
+#: The attached shared-memory segment, if any.  The worker's population
+#: arrays are views into its buffer, so the reference must stay alive for
+#: the whole worker lifetime.
+_WORKER_SHM = None
 
 
 def _init_worker(
     config, calib, core_config, workloads, cache_root, bank_cache_root,
-    obs_enabled, batch_phases=True,
+    obs_enabled, batch_phases=True, shm_handle=None,
 ) -> None:
     """Build this worker's private runner (population, cores, caches).
 
@@ -199,8 +211,10 @@ def _init_worker(
     ``--no-cache`` runs really do skip the measurement/summary cache in
     workers, so serial and parallel runs produce the same cache counters.
     """
-    global _WORKER_RUNNER, _WORKER_BANK_CACHE
+    global _WORKER_RUNNER, _WORKER_BANK_CACHE, _WORKER_SHM
+    from ..variation import prime_factor
     from .runner import ExperimentRunner
+    from .shm import attach
 
     # Fork-started workers inherit the parent's metric state; start from a
     # clean slate so drained deltas only ever contain this worker's work.
@@ -213,6 +227,24 @@ def _init_worker(
     _WORKER_BANK_CACHE = (
         ExperimentCache(bank_cache_root) if bank_cache_root else None
     )
+    population = None
+    if shm_handle is not None:
+        try:
+            population, factor, _WORKER_SHM = attach(shm_handle)
+            if factor is not None:
+                prime_factor(
+                    factor, shm_handle.grid, shm_handle.params.phi
+                )
+        except Exception:
+            # Any transport failure degrades to the deterministic
+            # rebuild below — slower, never wrong.
+            log.warning(
+                "shared-memory attach failed; rebuilding population",
+                exc_info=True,
+            )
+            population = None
+    obs.inc("engine.shm.attached", 1.0 if population is not None else 0.0)
+    obs.inc("engine.shm.rebuilt", 0.0 if population is not None else 1.0)
     _WORKER_RUNNER = ExperimentRunner(
         config,
         calib,
@@ -220,6 +252,7 @@ def _init_worker(
         core_config=core_config,
         cache=cache,
         batch_phases=batch_phases,
+        population=population,
     )
 
 
@@ -318,6 +351,15 @@ def execute(runner, spec: RunSpec) -> RunResult:
                     runner, spec, pending, workloads, cache, campaign
                 )
             else:
+                # Structural parity with the parallel path: the same
+                # metric names exist in a serial run, zero-valued — no
+                # segment is published and the factor memo is not
+                # consulted when units run in-process.
+                obs.set_gauge("engine.shm_bytes", 0.0)
+                obs.inc("engine.shm.attached", 0.0)
+                obs.inc("engine.shm.rebuilt", 0.0)
+                obs.inc("variation.factor.hits", 0.0)
+                obs.inc("variation.factor.misses", 0.0)
                 per_cell: Dict[Tuple[str, str], List[PhaseResult]] = {}
                 for env, mode, chip_index, core_index in iter_units(
                     [(env, mode) for env, mode, _ in pending],
@@ -375,6 +417,7 @@ class SupervisedExecutor:
         cache: Optional[ExperimentCache],
         transport: ExperimentCache,
         max_workers: int,
+        shm_handle=None,
     ):
         self._pool = ProcessPoolExecutor(
             max_workers=max_workers,
@@ -388,6 +431,7 @@ class SupervisedExecutor:
                 str(transport.root),
                 obs.enabled(),
                 runner.batch_phases,
+                shm_handle,
             ),
         )
 
@@ -446,6 +490,10 @@ def _execute_parallel(
     if transport is None:
         ephemeral = tempfile.TemporaryDirectory(prefix="eval-repro-cache-")
         transport = ExperimentCache(ephemeral.name)
+    shared = _publish_population(runner) if spec.shared_mem else None
+    obs.set_gauge(
+        "engine.shm_bytes", float(shared.nbytes) if shared is not None else 0.0
+    )
     try:
         for env, mode, _ in pending:
             if mode is AdaptationMode.FUZZY_DYN:
@@ -461,7 +509,8 @@ def _execute_parallel(
         max_workers = min(spec.parallelism, len(units))
         log.debug("sharding %d units across %d workers", len(units), max_workers)
         with SupervisedExecutor(
-            runner, workloads, cache, transport, max_workers
+            runner, workloads, cache, transport, max_workers,
+            shm_handle=shared.handle if shared is not None else None,
         ) as pool:
             unit_rows = pool.run_units(units, campaign)
 
@@ -470,5 +519,34 @@ def _execute_parallel(
             per_cell.setdefault((env.name, mode.value), []).extend(rows)
         return {cell: summarise(rows) for cell, rows in per_cell.items()}
     finally:
+        if shared is not None:
+            # The pool is down (SupervisedExecutor.__exit__ ran), so no
+            # worker still maps the segment; release it.
+            shared.close()
+            shared.unlink()
         if ephemeral is not None:
             ephemeral.cleanup()
+
+
+def _publish_population(runner):
+    """Publish the runner's population (+factor) to shared memory.
+
+    Returns the parent-side :class:`~repro.exps.shm.SharedPopulation`
+    owner, or ``None`` if anything about the platform refuses (no
+    ``/dev/shm``, size limits, heterogeneous chips): transport is an
+    optimisation, and workers fall back to the deterministic rebuild.
+    """
+    from ..variation import get_factor
+    from .shm import SharedPopulation
+
+    try:
+        population = runner.population
+        chip = population[0]
+        factor = get_factor(chip.grid, chip.params.phi)
+        return SharedPopulation.publish(population, factor)
+    except Exception:
+        log.warning(
+            "shared-memory publish failed; workers will rebuild",
+            exc_info=True,
+        )
+        return None

@@ -72,10 +72,12 @@ def run_fig13(
     """
     cache_dir = None
     use_cache = True
+    shared_mem = True
     if settings is not None:
         parallelism = settings.jobs
         cache_dir = settings.effective_cache_dir
         use_cache = settings.cache_enabled
+        shared_mem = settings.shared_mem
     runner = runner or ExperimentRunner(RunnerConfig(n_chips=8))
     environments = environments or CONTROLLER_STUDY_ENVIRONMENTS
 
@@ -94,6 +96,7 @@ def run_fig13(
         parallelism=parallelism,
         cache_dir=cache_dir,
         use_cache=use_cache,
+        shared_mem=shared_mem,
     ))
 
     fractions: Dict[Tuple[str, str], Dict[str, float]] = {}

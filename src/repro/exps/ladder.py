@@ -77,6 +77,7 @@ def run_ladder(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     settings: Optional[Settings] = None,
+    shared_mem: bool = True,
 ) -> LadderResult:
     """Run the full Figures 10-12 grid.
 
@@ -92,12 +93,16 @@ def run_ladder(
             ``None`` uses the runner's configured cache, if any.
         use_cache: ``False`` disables the disk cache (``--no-cache``).
         settings: A :class:`repro.config.Settings` bundle; when given it
-            overrides ``parallelism``, ``cache_dir`` and ``use_cache``.
+            overrides ``parallelism``, ``cache_dir``, ``use_cache`` and
+            ``shared_mem``.
+        shared_mem: Broadcast the population to pool workers over shared
+            memory (``--shared-mem``); bit-identical either way.
     """
     if settings is not None:
         parallelism = settings.jobs
         cache_dir = settings.effective_cache_dir
         use_cache = settings.cache_enabled
+        shared_mem = settings.shared_mem
     runner = runner or ExperimentRunner(
         RunnerConfig(),
         batch_phases=settings.batch_phases if settings is not None else True,
@@ -112,6 +117,7 @@ def run_ladder(
             parallelism=parallelism,
             cache_dir=cache_dir,
             use_cache=use_cache,
+            shared_mem=shared_mem,
         )
     )
     anchors = runner.run(
@@ -121,6 +127,7 @@ def run_ladder(
             parallelism=parallelism,
             cache_dir=cache_dir,
             use_cache=use_cache,
+            shared_mem=shared_mem,
         )
     )
     result = LadderResult(

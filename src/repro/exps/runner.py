@@ -58,8 +58,10 @@ from ..microarch.workloads import WorkloadProfile, spec2000_like_suite
 from ..mitigation.base import TechniqueState
 from ..ml.bank import ControllerBank, get_bank
 from ..timing.speculation import performance
+from .. import variation
+from ..variation.maps import ChipSample
 from ..variation.population import VariationModel
-from .cache import ExperimentCache, bank_key, measurement_key
+from .cache import ExperimentCache, FactorStore, bank_key, measurement_key
 
 log = logging.getLogger("repro.exps.runner")
 
@@ -186,6 +188,7 @@ class ExperimentRunner:
         *,
         cache: Optional[ExperimentCache] = None,
         batch_phases: bool = True,
+        population: Optional[Sequence[ChipSample]] = None,
     ):
         self.config = config
         self.calib = calib
@@ -197,9 +200,27 @@ class ExperimentRunner:
         # per-phase loop, so it deliberately lives outside RunnerConfig
         # (whose fields are hashed into summary cache keys).
         self.batch_phases = bool(batch_phases)
-        self._population = VariationModel().population(
-            config.n_chips, seed=config.seed
-        )
+        if cache is not None:
+            # Give the process-wide factor memo durable storage, so a
+            # cold process (or pool worker) loads the Cholesky factor
+            # from disk instead of re-factorising.
+            variation.set_store(FactorStore(cache))
+        if population is not None:
+            # Pre-sampled chips, e.g. attached from a shared-memory
+            # segment published by the engine's parent process.  The
+            # transport is an optimisation, not physics: the arrays are
+            # exactly what the deterministic rebuild below would draw.
+            population = list(population)
+            if len(population) != config.n_chips:
+                raise ValueError(
+                    f"injected population has {len(population)} chips, "
+                    f"config expects {config.n_chips}"
+                )
+            self._population = population
+        else:
+            self._population = VariationModel().population(
+                config.n_chips, seed=config.seed
+            )
         self._cores: Dict[Tuple[int, int], Core] = {}
         self._novar = build_novar_core(calib=calib)
         self._banks: Dict[str, ControllerBank] = {}
@@ -210,6 +231,11 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # Cached building blocks.
     # ------------------------------------------------------------------
+    @property
+    def population(self) -> List[ChipSample]:
+        """The sampled chip population (shared read-only with the engine)."""
+        return self._population
+
     def core(self, chip_index: int, core_index: int) -> Core:
         """Return (and cache) one core model."""
         key = (chip_index, core_index)

@@ -1,0 +1,180 @@
+"""Zero-copy population transport over POSIX shared memory.
+
+The engine's worker processes need two heavy, read-only inputs: the
+sampled chip population (``2 * n_chips`` variation surfaces of
+``grid.cell_count`` doubles) and the correlation factor behind it (an
+``(n, n)`` matrix, ~20 MB at the default 40x40 grid).  The seed design
+rebuilt both in every worker from the ``(seed, n_chips)`` recipe — cheap
+to ship but O(n^3) to recompute cold.
+
+This module broadcasts them instead: the parent packs population and
+factor into one :class:`multiprocessing.shared_memory.SharedMemory`
+segment, and each worker maps it and wraps *views* (no copies) into the
+same :class:`~repro.variation.maps.ChipSample` objects the rebuild path
+produces.  Only the tiny picklable :class:`SharedPopulationHandle`
+crosses the pipe.  Layout of the segment, all float64, C-order::
+
+    vt_sys   (n_chips, n)   per-chip systematic Vt surfaces
+    leff_sys (n_chips, n)   per-chip systematic Leff surfaces
+    factor   (n, n)         correlation factor (optional)
+
+The transport is strictly an optimisation: attaching workers produce
+bit-identical chips to the deterministic rebuild (the parent wrote the
+very arrays the rebuild would recompute), and every failure path falls
+back to the rebuild, which remains the golden reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..variation.grid import DieGrid
+from ..variation.maps import ChipSample, VariationParams
+
+__all__ = ["SharedPopulation", "SharedPopulationHandle", "attach"]
+
+
+@dataclass(frozen=True)
+class SharedPopulationHandle:
+    """Everything a worker needs to map the segment: light and picklable."""
+
+    name: str
+    n_chips: int
+    grid: DieGrid
+    params: VariationParams
+    has_factor: bool
+
+    @property
+    def cell_count(self) -> int:
+        return self.grid.cell_count
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size of the segment described by this handle."""
+        n = self.cell_count
+        surfaces = 2 * self.n_chips * n * 8
+        return surfaces + (n * n * 8 if self.has_factor else 0)
+
+
+def _layout(handle: SharedPopulationHandle, buf) -> Tuple[np.ndarray, ...]:
+    """Map the segment buffer into (vt, leff, factor-or-None) views."""
+    n = handle.cell_count
+    b = handle.n_chips
+    vt = np.ndarray((b, n), dtype=np.float64, buffer=buf, offset=0)
+    leff = np.ndarray((b, n), dtype=np.float64, buffer=buf, offset=vt.nbytes)
+    factor = None
+    if handle.has_factor:
+        factor = np.ndarray(
+            (n, n), dtype=np.float64, buffer=buf,
+            offset=vt.nbytes + leff.nbytes,
+        )
+    return vt, leff, factor
+
+
+class SharedPopulation:
+    """Parent-side owner of one published population segment.
+
+    The parent keeps this object alive for the lifetime of the worker
+    pool and calls :meth:`unlink` once the pool has shut down; workers
+    only ever :func:`attach`.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        handle: SharedPopulationHandle,
+    ):
+        self._shm = shm
+        self.handle = handle
+
+    @classmethod
+    def publish(
+        cls,
+        population: Sequence[ChipSample],
+        factor: Optional[np.ndarray] = None,
+    ) -> "SharedPopulation":
+        """Copy a sampled population (and optional factor) into a segment."""
+        if not population:
+            raise ValueError("cannot publish an empty population")
+        first = population[0]
+        handle = SharedPopulationHandle(
+            name="",
+            n_chips=len(population),
+            grid=first.grid,
+            params=first.params,
+            has_factor=factor is not None,
+        )
+        shm = shared_memory.SharedMemory(create=True, size=handle.nbytes)
+        try:
+            handle = dataclasses.replace(handle, name=shm.name)
+            vt, leff, factor_view = _layout(handle, shm.buf)
+            for i, chip in enumerate(population):
+                vt[i] = chip.vt_sys
+                leff[i] = chip.leff_sys
+            if factor_view is not None:
+                factor_view[:] = factor
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        return cls(shm, handle)
+
+    @property
+    def nbytes(self) -> int:
+        return self.handle.nbytes
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment; safe to call after workers already exited."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing cleanup
+            pass
+
+
+def attach(
+    handle: SharedPopulationHandle,
+) -> Tuple[List[ChipSample], Optional[np.ndarray], shared_memory.SharedMemory]:
+    """Map a published segment and rebuild the population as views.
+
+    Returns ``(chips, factor_or_None, shm)``.  The caller must keep the
+    returned ``shm`` object referenced for as long as the chips are in
+    use — the arrays are views into its buffer, not copies — and must
+    *not* unlink it (the publishing parent owns the segment's lifetime).
+    """
+    shm = shared_memory.SharedMemory(name=handle.name)
+    # Attaching registers the segment for cleanup, but only the
+    # publishing parent may unlink it.  Under the spawn start method the
+    # worker runs its *own* resource tracker, which would unlink the
+    # live segment when the worker exits — undo the registration.  Under
+    # fork/forkserver the tracker process is shared with the parent
+    # (registrations are a set, so the attach re-register was a no-op)
+    # and unregistering here would erase the parent's own entry.
+    if multiprocessing.get_start_method(allow_none=True) == "spawn":
+        try:  # pragma: no cover - tracker internals vary across platforms
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    vt, leff, factor = _layout(handle, shm.buf)
+    for view in (vt, leff) + (() if factor is None else (factor,)):
+        view.setflags(write=False)
+    chips = [
+        ChipSample(
+            grid=handle.grid,
+            params=handle.params,
+            vt_sys=vt[i],
+            leff_sys=leff[i],
+            chip_id=i,
+        )
+        for i in range(handle.n_chips)
+    ]
+    return chips, factor, shm

@@ -1,15 +1,31 @@
-"""Shared special-function imports.
+"""Shared special functions.
 
 The Gaussian inverse survival function ``Qinv(p) = ndtri(1 - p)`` appears
 in three places — the timing-error model (:mod:`repro.timing.errors`),
 the optimiser's error-budget inversion (:mod:`repro.core.optimizer`) and
-the fuzzy bank's demand feature (:mod:`repro.ml.bank`).  Importing it
-once here keeps the SciPy dependency surface a single line, so gating or
-replacing it (e.g. with an erfinv-based fallback) is a one-file change.
+the fuzzy bank's demand feature (:mod:`repro.ml.bank`) — and the forward
+survival function ``Q(z)`` sits in the innermost loop of the error-rate
+evaluation.  Importing/defining them once here keeps the SciPy dependency
+surface small, so gating or replacing either (e.g. with an erfinv-based
+fallback) is a one-file change.
 """
 
 from __future__ import annotations
 
-from scipy.special import ndtri
+import numpy as np
+from scipy.special import ndtr, ndtri
 
-__all__ = ["ndtri"]
+__all__ = ["ndtri", "norm_sf"]
+
+
+def norm_sf(z):
+    """Standard normal survival function ``Q(z) = P(X > z)``.
+
+    Bit-identical to ``scipy.stats.norm.sf`` — which bottoms out in the
+    same Cephes ``ndtr`` (an erf/erfc evaluation, switching to the
+    complementary branch for large ``|x|``) via ``sf(z) = ndtr(-z)`` —
+    but without the distribution layer's argument-munging overhead, which
+    dominates for the small arrays the optimiser sweeps (about an order
+    of magnitude per call at the sizes ``stage_error_rates`` sees).
+    """
+    return ndtr(np.negative(z))

@@ -72,6 +72,7 @@ class CellScheduler:
         on_done: Callable[[Any, Any, int], None],
         on_failed: Callable[[Any, BaseException, int], None],
         claim: Optional[Callable[[Any], bool]] = None,
+        warmup: Optional[Callable[[], None]] = None,
     ):
         """Args:
             execute: Runs one unit task, returning its result.
@@ -81,6 +82,12 @@ class CellScheduler:
             on_failed: ``(item, error, attempts)`` exhausted-budget callback.
             claim: Optional predicate consulted when an item is popped;
                 returning ``False`` drops it (a cancelled/abandoned cell).
+            warmup: Optional callable each worker thread runs once before
+                draining tasks — e.g. priming shared read-only state such
+                as the correlation-factor memo — so the first unit does
+                not pay for it under a retry/timeout budget.  Warmup
+                failures are logged and ignored: they only cost the lazy
+                initialisation back.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -90,6 +97,7 @@ class CellScheduler:
         self._on_done = on_done
         self._on_failed = on_failed
         self._claim = claim
+        self._warmup = warmup
         self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
         self._seq = itertools.count()
         self._threads: list[threading.Thread] = []
@@ -129,6 +137,11 @@ class CellScheduler:
     # Worker loop + supervision.
     # ------------------------------------------------------------------
     def _loop(self) -> None:
+        if self._warmup is not None:
+            try:
+                self._warmup()
+            except Exception:
+                log.warning("worker warmup failed; continuing", exc_info=True)
         while True:
             _, _, item = self._queue.get()
             obs.set_gauge("serve.queue_depth", self._queue.qsize())

@@ -28,10 +28,10 @@ import logging
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
-from .. import obs
+from .. import obs, variation
 from ..config import Settings
 from ..core.environments import AdaptationMode
-from ..exps.cache import ExperimentCache, summary_key
+from ..exps.cache import ExperimentCache, FactorStore, summary_key
 from ..exps.engine import RunResult, RunSpec, run_unit_guarded
 from ..exps.runner import ExperimentRunner, summarise
 from .coalesce import NOVAR_CHIP, CellTask, InFlightRegistry, UnitTask, build_cell
@@ -109,6 +109,11 @@ class CampaignService:
             else runner.cache if runner.cache is not None
             else settings.build_cache()
         )
+        if self.cache is not None:
+            # Durable factor storage for the process-wide memo: a daemon
+            # restart reloads the Cholesky factor from the artifact cache
+            # instead of re-factorising.
+            variation.set_store(FactorStore(self.cache))
         self.max_jobs = settings.service_max_jobs
         if policy is None:
             policy = RetryPolicy(
@@ -122,6 +127,7 @@ class CampaignService:
             on_done=self._on_unit_done,
             on_failed=self._on_unit_failed,
             claim=self._claim_unit,
+            warmup=self._warm_physics,
         )
         self._lock = threading.RLock()
         self._jobs: Dict[str, Job] = {}
@@ -311,6 +317,17 @@ class CampaignService:
     # ------------------------------------------------------------------
     # Scheduler callbacks (worker threads).
     # ------------------------------------------------------------------
+    def _warm_physics(self) -> None:
+        """Prime the correlation-factor memo before the first unit runs.
+
+        Usually a no-op (the runner's population draw already warmed it);
+        after a restart with an artifact cache it loads the factor from
+        disk, and at worst it pays the one Cholesky outside any unit's
+        retry/timeout budget.
+        """
+        chip = self.runner.population[0]
+        variation.get_factor(chip.grid, chip.params.phi)
+
     def _claim_unit(self, item: Tuple[CellTask, UnitTask]) -> bool:
         cell, _unit = item
         with self._lock:

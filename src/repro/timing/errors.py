@@ -13,9 +13,8 @@ work-horse of the Freq algorithm (Section 4.2).
 from __future__ import annotations
 
 import numpy as np
-from scipy.stats import norm
 
-from ..numerics import ndtri
+from ..numerics import ndtri, norm_sf
 
 from .paths import StageDelays
 
@@ -34,7 +33,7 @@ def stage_error_rates(freq, delays: StageDelays, rho) -> np.ndarray:
         raise ValueError("frequency must be positive")
     period = 1.0 / freq
     z = (period - delays.mean) / delays.sigma
-    return np.asarray(rho, dtype=float) * norm.sf(z)
+    return np.asarray(rho, dtype=float) * norm_sf(z)
 
 
 def processor_error_rate(freq, delays: StageDelays, rho) -> np.ndarray:

@@ -84,14 +84,29 @@ class PathEnsemble:
         return delays[choices].max(axis=1)
 
     def empirical_error_rate(
-        self, freq: float, n_accesses: int = 20000, seed: int = 1
-    ) -> float:
-        """Monte-Carlo per-access error probability at frequency ``freq``."""
-        if freq <= 0.0:
+        self, freq, n_accesses: int = 20000, seed: int = 1
+    ):
+        """Monte-Carlo per-access error probability at frequency ``freq``.
+
+        ``freq`` may be a scalar (returns ``float``, as before) or an
+        array of frequencies (returns an array of matching shape).  All
+        frequencies are evaluated against *one* sampled access-delay
+        set, so a sweep over a frequency axis — e.g. the Figure 1
+        benches — costs one Monte-Carlo draw instead of one per point,
+        and every point sees the same draw (a scalar call at ``freq[i]``
+        returns exactly the ``i``-th element of the array call).
+        """
+        freq_arr = np.asarray(freq, dtype=float)
+        if np.any(freq_arr <= 0.0):
             raise ValueError("frequency must be positive")
         rng = np.random.default_rng(seed)
         samples = self.sample_access_delays(n_accesses, rng)
-        return float(np.mean(samples > 1.0 / freq))
+        rates = np.mean(
+            samples > 1.0 / freq_arr[..., np.newaxis], axis=-1
+        )
+        if freq_arr.ndim == 0:
+            return float(rates)
+        return rates
 
 
 def wall_ensemble(

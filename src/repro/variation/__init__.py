@@ -5,6 +5,16 @@ from .correlation import (
     correlation_matrix,
     spherical_correlation,
 )
+from .factors import (
+    DEFAULT_JITTER,
+    clear_factor_memo,
+    factor_key_data,
+    get_factor,
+    get_store,
+    memo_size,
+    prime_factor,
+    set_store,
+)
 from .grid import DieGrid
 from .maps import (
     DEFAULT_VARIATION_PARAMS,
@@ -16,12 +26,20 @@ from .population import VariationModel
 
 __all__ = [
     "ChipSample",
+    "DEFAULT_JITTER",
     "DEFAULT_VARIATION_PARAMS",
     "DieGrid",
     "RegionStats",
     "VariationModel",
     "VariationParams",
+    "clear_factor_memo",
     "correlated_normal_factor",
     "correlation_matrix",
+    "factor_key_data",
+    "get_factor",
+    "get_store",
+    "memo_size",
+    "prime_factor",
+    "set_store",
     "spherical_correlation",
 ]

@@ -42,6 +42,12 @@ def spherical_correlation(distance, phi: float):
 def correlation_matrix(points: np.ndarray, phi: float) -> np.ndarray:
     """Return the correlation matrix for a set of 2-D points.
 
+    Distances come from separate x/y outer differences — two ``(n, n)``
+    scratch arrays instead of one ``(n, n, 2)`` deltas tensor, which at
+    the default 40x40 grid keeps ~20 MB of peak memory off the table
+    while producing bit-identical values (``np.hypot`` sees the exact
+    same coordinate differences either way).
+
     Args:
         points: Array of shape ``(n, 2)`` with point coordinates in
             die-width units.
@@ -50,8 +56,9 @@ def correlation_matrix(points: np.ndarray, phi: float) -> np.ndarray:
     points = np.asarray(points, dtype=float)
     if points.ndim != 2 or points.shape[1] != 2:
         raise ValueError("points must have shape (n, 2)")
-    deltas = points[:, None, :] - points[None, :, :]
-    distances = np.hypot(deltas[..., 0], deltas[..., 1])
+    dx = np.subtract.outer(points[:, 0], points[:, 0])
+    dy = np.subtract.outer(points[:, 1], points[:, 1])
+    distances = np.hypot(dx, dy)
     return spherical_correlation(distances, phi)
 
 
@@ -69,10 +76,17 @@ def correlated_normal_factor(
     realisation of the systematic variation surface sampled at ``points``.
     """
     corr = correlation_matrix(points, phi)
-    n = corr.shape[0]
+    # Add the jitter in place on the diagonal: materialising
+    # ``jitter * np.eye(n)`` would cost another dense (n, n) array (~20 MB
+    # at 40x40) only to add zeros everywhere off the diagonal.
+    diag = np.einsum("ii->i", corr)
+    diag += jitter
     try:
-        return np.linalg.cholesky(corr + jitter * np.eye(n))
+        return np.linalg.cholesky(corr)
     except np.linalg.LinAlgError:
+        # Restore the exact un-jittered matrix: the diagonal of a
+        # correlation matrix is exactly 1.0 (zero self-distance).
+        diag[...] = 1.0
         # Fall back to an eigen-decomposition factor, clipping any tiny
         # negative eigenvalues introduced by round-off.
         eigvals, eigvecs = np.linalg.eigh(corr)

@@ -59,6 +59,14 @@ class TestFromEnv:
             {"EVAL_REPRO_SERIAL_PHASES": "1"}
         ).batch_phases
 
+    def test_shared_mem_variable(self):
+        assert Settings.from_env({}).shared_mem
+        for raw in ("0", "false", "no", "off", "False", " OFF "):
+            assert not Settings.from_env(
+                {"EVAL_REPRO_SHARED_MEM": raw}
+            ).shared_mem
+        assert Settings.from_env({"EVAL_REPRO_SHARED_MEM": "1"}).shared_mem
+
     def test_custom_defaults(self):
         bench = Settings(chips=8)
         assert Settings.from_env({}, defaults=bench).chips == 8
@@ -91,6 +99,13 @@ class TestFromArgs:
         env = {"EVAL_REPRO_SERIAL_PHASES": "1"}
         assert not self._parse([], env).batch_phases
         assert not self._parse(["--serial-phases"], env).batch_phases
+
+    def test_shared_mem_flag_beats_env_beats_default(self):
+        assert self._parse([]).shared_mem  # default on
+        assert not self._parse(["--no-shared-mem"]).shared_mem
+        env = {"EVAL_REPRO_SHARED_MEM": "0"}
+        assert not self._parse([], env).shared_mem
+        assert self._parse(["--shared-mem"], env).shared_mem  # flag wins
 
     def test_log_level_case_insensitive(self):
         assert self._parse(["--log-level", "debug"]).log_level == "DEBUG"

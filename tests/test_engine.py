@@ -110,6 +110,111 @@ class TestParallelDeterminism:
         assert serial.results == parallel.results
 
 
+class TestSharedMemoryTransport:
+    def test_shm_rows_byte_identical_to_rebuild(self, two_workloads):
+        """--shared-mem changes transport, never physics: identical rows."""
+        from repro import obs
+
+        spec_args = dict(
+            environments=(TS,),
+            modes=(AdaptationMode.EXH_DYN,),
+            workloads=two_workloads,
+            parallelism=2,
+        )
+        scope = obs.MetricsRegistry()
+        with obs.scoped(scope):
+            shm = ExperimentRunner(ENGINE_CONFIG).run(
+                RunSpec(shared_mem=True, **spec_args)
+            ).summary(TS)
+        rebuild = ExperimentRunner(ENGINE_CONFIG).run(
+            RunSpec(shared_mem=False, **spec_args)
+        ).summary(TS)
+        assert shm.results == rebuild.results  # frozen-dataclass equality
+        assert shm.f_rel == rebuild.f_rel
+        assert shm.perf_rel == rebuild.perf_rel
+        assert shm.power == rebuild.power
+        assert scope.to_dict()["gauges"]["engine.shm_bytes"] > 0.0
+
+    def test_shm_off_publishes_nothing(self, two_workloads):
+        from repro import obs
+
+        scope = obs.MetricsRegistry()
+        with obs.scoped(scope):
+            ExperimentRunner(ENGINE_CONFIG).run(RunSpec(
+                environments=(TS,),
+                modes=(AdaptationMode.EXH_DYN,),
+                workloads=two_workloads,
+                parallelism=2,
+                shared_mem=False,
+            ))
+        assert scope.to_dict()["gauges"]["engine.shm_bytes"] == 0.0
+
+    def test_publish_attach_roundtrip(self):
+        from repro.exps.shm import SharedPopulation, attach
+        from repro.variation import DieGrid, VariationModel, get_factor
+
+        model = VariationModel(grid=DieGrid(nx=8, ny=8))
+        population = model.population(3, seed=5)
+        factor = get_factor(model.grid, model.params.phi)
+        shared = SharedPopulation.publish(population, factor)
+        try:
+            chips, shared_factor, segment = attach(shared.handle)
+            assert len(chips) == len(population)
+            for ours, theirs in zip(population, chips):
+                assert np.array_equal(ours.vt_sys, theirs.vt_sys)
+                assert np.array_equal(ours.leff_sys, theirs.leff_sys)
+                assert ours.chip_id == theirs.chip_id
+                assert not theirs.vt_sys.flags.writeable
+            assert np.array_equal(shared_factor, factor)
+            del chips, shared_factor
+            segment.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_publish_without_factor(self):
+        from repro.exps.shm import SharedPopulation, attach
+        from repro.variation import DieGrid, VariationModel
+
+        model = VariationModel(grid=DieGrid(nx=6, ny=6))
+        population = model.population(2, seed=0)
+        shared = SharedPopulation.publish(population)
+        try:
+            chips, factor, segment = attach(shared.handle)
+            assert factor is None
+            assert np.array_equal(chips[1].vt_sys, population[1].vt_sys)
+            del chips
+            segment.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_publish_rejects_empty_population(self):
+        from repro.exps.shm import SharedPopulation
+
+        with pytest.raises(ValueError):
+            SharedPopulation.publish([])
+
+    def test_runner_accepts_injected_population(self):
+        from repro.variation import VariationModel
+
+        population = VariationModel().population(
+            ENGINE_CONFIG.n_chips, seed=ENGINE_CONFIG.seed
+        )
+        runner = ExperimentRunner(ENGINE_CONFIG, population=population)
+        # The chips themselves are shared, not re-sampled.
+        assert all(a is b for a, b in zip(runner.population, population))
+
+    def test_runner_rejects_population_of_wrong_size(self):
+        from repro.variation import VariationModel
+
+        wrong = VariationModel().population(
+            ENGINE_CONFIG.n_chips + 1, seed=ENGINE_CONFIG.seed
+        )
+        with pytest.raises(ValueError):
+            ExperimentRunner(ENGINE_CONFIG, population=wrong)
+
+
 class TestCache:
     def test_summary_cache_hit_and_miss(self, tmp_path, two_workloads):
         spec = RunSpec(

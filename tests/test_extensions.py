@@ -130,6 +130,24 @@ class TestPathSampling:
             if empirical > 1e-3:
                 assert analytic == pytest.approx(empirical, rel=0.6, abs=2e-3)
 
+    def test_empirical_error_rate_accepts_frequency_arrays(self):
+        ensemble = wall_ensemble(250e-12, seed=4)
+        freqs = np.linspace(3.0e9, 4.8e9, 7)
+        vector = ensemble.empirical_error_rate(freqs)
+        assert vector.shape == freqs.shape
+        # One shared Monte-Carlo draw: each point equals the scalar call.
+        for i, freq in enumerate(freqs):
+            assert vector[i] == ensemble.empirical_error_rate(float(freq))
+
+    def test_empirical_error_rate_scalar_returns_float(self):
+        ensemble = wall_ensemble(250e-12, seed=4)
+        assert isinstance(ensemble.empirical_error_rate(4.0e9), float)
+
+    def test_empirical_error_rate_rejects_nonpositive_array(self):
+        ensemble = wall_ensemble(250e-12, seed=4)
+        with pytest.raises(ValueError):
+            ensemble.empirical_error_rate(np.array([4.0e9, 0.0]))
+
     def test_wall_shape(self):
         ensemble = wall_ensemble(250e-12, wall_fraction=0.4, seed=1)
         delays = ensemble.nominal_delays

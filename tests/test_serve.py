@@ -344,6 +344,48 @@ class TestScheduler:
         assert failed == [("unit", 3)]  # 1 try + 2 retries
         assert len(attempts_seen) == 3
 
+    def test_warmup_runs_once_per_worker_before_tasks(self):
+        order = []
+        scheduler = CellScheduler(
+            lambda item: order.append(("task", item)),
+            workers=2,
+            policy=RetryPolicy(retries=0),
+            on_done=lambda *a: None,
+            on_failed=lambda *a: None,
+            warmup=lambda: order.append(("warmup", None)),
+        )
+        scheduler.start()
+        scheduler.submit(0, "unit")
+        deadline = time.monotonic() + 10
+        while ("task", "unit") not in order and time.monotonic() < deadline:
+            time.sleep(0.01)
+        scheduler.stop()
+        warmups = [entry for entry in order if entry[0] == "warmup"]
+        assert len(warmups) == 2  # one per worker thread
+        assert order.index(("warmup", None)) < order.index(("task", "unit"))
+
+    def test_warmup_failure_does_not_kill_worker(self):
+        done = []
+
+        def broken_warmup():
+            raise RuntimeError("cold start failed")
+
+        scheduler = CellScheduler(
+            lambda item: item,
+            workers=1,
+            policy=RetryPolicy(retries=0),
+            on_done=lambda item, result, attempts: done.append(item),
+            on_failed=lambda *a: None,
+            warmup=broken_warmup,
+        )
+        scheduler.start()
+        scheduler.submit(0, "unit")
+        deadline = time.monotonic() + 10
+        while not done and time.monotonic() < deadline:
+            time.sleep(0.01)
+        scheduler.stop()
+        assert done == ["unit"]
+
     def test_claim_predicate_drops_items(self):
         done = []
         scheduler = CellScheduler(

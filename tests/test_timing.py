@@ -33,6 +33,34 @@ def rho(core):
     return core.rho_ref
 
 
+class TestNormSf:
+    """The erfc-based survival function used by stage_error_rates."""
+
+    def test_bit_identical_to_scipy_over_optimizer_range(self):
+        from scipy.stats import norm
+
+        from repro.numerics import norm_sf
+
+        # The optimizer probes z from deep error-free (~ +40) to heavy
+        # overclocking (~ -10); bit-identity keeps every cached summary
+        # and golden table stable across the swap.
+        z = np.linspace(-12.0, 40.0, 20001)
+        assert np.array_equal(norm_sf(z), norm.sf(z))
+        assert norm_sf(0.0) == norm.sf(0.0)
+
+    def test_scalar_and_array_shapes(self):
+        from repro.numerics import norm_sf
+
+        assert np.isscalar(float(norm_sf(1.5)))
+        assert norm_sf(np.zeros((3, 2))).shape == (3, 2)
+
+    def test_tail_values(self):
+        from repro.numerics import norm_sf
+
+        assert norm_sf(40.0) == 0.0  # underflow, like scipy
+        assert norm_sf(-40.0) == 1.0
+
+
 class TestStageDelays:
     def test_positive_and_ordered(self, delays):
         assert np.all(delays.mean > 0)

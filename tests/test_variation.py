@@ -3,13 +3,21 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.variation import (
+    DEFAULT_JITTER,
     ChipSample,
     DieGrid,
     VariationModel,
     VariationParams,
+    clear_factor_memo,
     correlated_normal_factor,
     correlation_matrix,
+    factor_key_data,
+    get_factor,
+    memo_size,
+    prime_factor,
+    set_store,
     spherical_correlation,
 )
 
@@ -170,6 +178,168 @@ class TestChipSample:
         vt = np.concatenate([c.vt_sys for c in chips])
         leff = np.concatenate([c.leff_sys for c in chips])
         assert abs(np.corrcoef(vt, leff)[0, 1]) < 0.12
+
+
+def _assert_same_chips(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert np.array_equal(x.vt_sys, y.vt_sys)
+        assert np.array_equal(x.leff_sys, y.leff_sys)
+        assert x.chip_id == y.chip_id
+
+
+class TestBatchedSampling:
+    """population(batch=True) must reproduce the serial loop bit for bit."""
+
+    GRID = DieGrid(nx=12, ny=10)
+
+    def _model(self, **params):
+        return VariationModel(grid=self.GRID, params=VariationParams(**params))
+
+    def test_batched_matches_serial(self):
+        model = self._model()
+        _assert_same_chips(
+            model.population(7, seed=5, batch=True),
+            model.population(7, seed=5, batch=False),
+        )
+
+    def test_batched_matches_serial_with_d2d(self):
+        model = self._model(d2d_sigma_rel=0.08)
+        _assert_same_chips(
+            model.population(7, seed=5, batch=True),
+            model.population(7, seed=5, batch=False),
+        )
+
+    def test_batched_matches_serial_with_vt_leff_correlation(self):
+        model = self._model(vt_leff_correlation=0.4)
+        _assert_same_chips(
+            model.population(7, seed=5, batch=True),
+            model.population(7, seed=5, batch=False),
+        )
+
+    def test_batched_matches_serial_combined(self):
+        model = self._model(d2d_sigma_rel=0.05, vt_leff_correlation=-0.3)
+        _assert_same_chips(
+            model.population(7, seed=5, batch=True),
+            model.population(7, seed=5, batch=False),
+        )
+
+    def test_single_chip_population(self):
+        model = self._model()
+        _assert_same_chips(
+            model.population(1, seed=2, batch=True),
+            model.population(1, seed=2, batch=False),
+        )
+
+    def test_batched_matches_serial_on_tiny_grid(self):
+        # Small dies are where narrow/wide BLAS kernels most often differ,
+        # i.e. where the width-2 panel fallback tends to engage.
+        model = VariationModel(grid=DieGrid(nx=6, ny=5))
+        _assert_same_chips(
+            model.population(5, seed=1, batch=True),
+            model.population(5, seed=1, batch=False),
+        )
+
+    def test_exactly_one_batch_strategy_counted(self):
+        scope = obs.MetricsRegistry()
+        with obs.scoped(scope):
+            self._model().population(4, seed=0, batch=True)
+        counters = scope.to_dict()["counters"]
+        # Paired counters: both always present, exactly one taken.
+        assert (
+            counters["variation.batch.wide"]
+            + counters["variation.batch.panel"]
+        ) == 1.0
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            self._model().population(0)
+
+
+class TestFactorMemo:
+    GRID = DieGrid(nx=8, ny=8)
+
+    def test_second_lookup_is_a_hit(self):
+        clear_factor_memo()
+        scope = obs.MetricsRegistry()
+        with obs.scoped(scope):
+            first = get_factor(self.GRID, 0.5)
+            second = get_factor(self.GRID, 0.5)
+        assert second is first  # same memoised array, no copy
+        counters = scope.to_dict()["counters"]
+        assert counters["variation.factor.misses"] == 1.0
+        assert counters["variation.factor.hits"] == 1.0
+        assert counters["variation.cholesky_seconds"] > 0.0
+
+    def test_memoised_factor_is_read_only(self):
+        factor = get_factor(self.GRID, 0.5)
+        with pytest.raises(ValueError):
+            factor[0, 0] = 99.0
+
+    def test_matches_direct_construction(self):
+        expected = correlated_normal_factor(
+            self.GRID.cell_centers(), 0.5, jitter=DEFAULT_JITTER
+        )
+        assert np.array_equal(get_factor(self.GRID, 0.5), expected)
+
+    def test_key_tracks_grid_and_phi(self):
+        base = factor_key_data(self.GRID, 0.5)
+        assert base == factor_key_data(DieGrid(nx=8, ny=8), 0.5)
+        assert base != factor_key_data(DieGrid(nx=8, ny=9), 0.5)
+        assert base != factor_key_data(self.GRID, 0.3)
+        assert base != factor_key_data(self.GRID, 0.5, jitter=1e-6)
+
+    def test_distinct_keys_get_distinct_entries(self):
+        clear_factor_memo()
+        get_factor(self.GRID, 0.5)
+        get_factor(self.GRID, 0.3)  # phi change: new factorisation
+        get_factor(DieGrid(nx=6, ny=6), 0.5)  # grid change: new factorisation
+        assert memo_size() == 3
+        clear_factor_memo()
+        assert memo_size() == 0
+
+    def test_prime_factor_seeds_memo(self):
+        clear_factor_memo()
+        factor = correlated_normal_factor(
+            self.GRID.cell_centers(), 0.5, jitter=DEFAULT_JITTER
+        )
+        primed = prime_factor(factor.copy(), self.GRID, 0.5)
+        assert memo_size() == 1
+        assert not primed.flags.writeable
+        # The memo now serves the primed array without factorising.
+        assert get_factor(self.GRID, 0.5) is primed
+        # An existing entry wins over later priming attempts.
+        assert prime_factor(np.zeros_like(factor), self.GRID, 0.5) is primed
+        assert np.array_equal(get_factor(self.GRID, 0.5), factor)
+
+    def test_store_roundtrip_and_cold_process_load(self, tmp_path):
+        from repro.exps.cache import ExperimentCache, FactorStore
+
+        cache = ExperimentCache(tmp_path)
+        set_store(FactorStore(cache))
+        try:
+            clear_factor_memo()
+            saved = get_factor(self.GRID, 0.5)  # store miss: saves artifact
+            assert cache.stats.misses["factor"] == 1
+            clear_factor_memo()  # simulate a cold process, warm disk
+            loaded = get_factor(self.GRID, 0.5)
+            assert cache.stats.hits["factor"] == 1
+            assert np.array_equal(loaded, saved)
+            assert not loaded.flags.writeable
+        finally:
+            set_store(None)
+            clear_factor_memo()
+
+    def test_population_shares_one_factorisation(self):
+        clear_factor_memo()
+        model = VariationModel(grid=self.GRID)
+        scope = obs.MetricsRegistry()
+        with obs.scoped(scope):
+            model.population(3, seed=0)
+            VariationModel(grid=self.GRID).population(3, seed=1)
+        counters = scope.to_dict()["counters"]
+        # Two models, two populations — one Cholesky.
+        assert counters["variation.factor.misses"] == 1.0
 
 
 class TestDieToDie:
