@@ -51,15 +51,8 @@ def cache_dir() -> "str | None":
 @lru_cache(maxsize=1)
 def shared_runner() -> ExperimentRunner:
     cfg = settings()
-    return ExperimentRunner(
-        RunnerConfig(
-            n_chips=cfg.chips,
-            cores_per_chip=cfg.cores,
-            fuzzy_examples=cfg.fc_examples,
-            fuzzy_epochs=2,
-        ),
-        cache=cfg.build_cache(),
-        batch_phases=cfg.batch_phases,
+    return ExperimentRunner.from_settings(
+        cfg, config=RunnerConfig.from_settings(cfg, fuzzy_epochs=2, seed=7)
     )
 
 

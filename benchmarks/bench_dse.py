@@ -1,0 +1,66 @@
+"""DSE campaigns: cold sweep vs fully cache-served warm re-run.
+
+A three-axis sweep (environment x workload x phi, 27 points) is driven
+twice through the campaign-service submission path against the same
+content-addressed cache.  The cold pass computes every cell exactly once
+(the sweep's own ``cells_computed`` stat proves it); the warm pass must
+be served entirely from the cache — the acceptance bar is a >= 10x
+wall-clock speedup and ``cells_deduped == cells_total``.
+
+The phi axis is runner-tier, so the sweep also exercises the
+per-binding ephemeral-service grouping (three services, one per phi).
+"""
+
+import dataclasses
+import time
+
+from _shared import scale, settings
+
+from repro.exps.dse import Axis, SweepSpec, run_sweep
+
+
+def _spec() -> SweepSpec:
+    chips, cores = scale()
+    return SweepSpec(
+        base={
+            "chips": chips,
+            "cores": cores,
+            "mode": "Exh-Dyn",
+            "fc_examples": settings().fc_examples,
+        },
+        axes=(
+            Axis.of("environment", ["TS", "TS+ASV", "TS+ASV+ABB"]),
+            Axis.of("workloads", [["gzip*"], ["mcf*"], ["swim*"]]),
+            Axis.of("phi", [0.25, 0.5, 1.0]),
+        ),
+    )
+
+
+def test_dse_warm_rerun_speedup(benchmark, tmp_path):
+    spec = _spec()
+    cfg = dataclasses.replace(
+        settings(), cache_dir=str(tmp_path), cache_enabled=True
+    )
+
+    start = time.perf_counter()
+    cold = run_sweep(spec, cfg)
+    cold_s = time.perf_counter() - start
+    assert cold.stats["cells_computed"] == cold.stats["cells_total"] == 27
+
+    start = time.perf_counter()
+    warm = benchmark.pedantic(
+        lambda: run_sweep(spec, cfg), rounds=1, iterations=1
+    )
+    warm_s = time.perf_counter() - start
+
+    print()
+    print(f"cold 27-point sweep: {cold_s:.2f}s")
+    print(f"warm re-run:         {warm_s:.2f}s "
+          f"(speedup {cold_s / warm_s:.1f}x, bar 10x)")
+    assert warm.stats["cells_deduped"] == warm.stats["cells_total"] == 27
+    assert warm.stats["cells_computed"] == 0
+    strip = lambda rows: [
+        {k: v for k, v in row.items() if k != "source"} for row in rows
+    ]
+    assert strip(warm.rows) == strip(cold.rows)
+    assert cold_s / warm_s >= 10.0

@@ -16,6 +16,8 @@ Layer map (see DESIGN.md for the full inventory):
 * :mod:`repro.core` — environments, Freq/Power optimisation,
   high-dimensional dynamic adaptation, retuning, the runtime timeline.
 * :mod:`repro.exps` — one experiment module per paper table/figure.
+* :mod:`repro.exps.dse` — declarative design-space sweeps: SweepSpec →
+  campaign service → Pareto/sensitivity analytics.
 * :mod:`repro.obs` — metrics registry, span timers, JSONL event sink.
 * :mod:`repro.serve` — the async campaign service (coalescing, retries,
   JSON-lines daemon; ``python -m repro.serve``).
@@ -55,6 +57,7 @@ from .core import (
     optimize_phase,
     optimize_phases_batched,
 )
+from .exps.dse import SweepSpec, pareto_front, run_sweep
 from .exps.engine import RunResult, RunSpec
 from .exps.runner import ExperimentRunner, RunnerConfig
 from .microarch import measure_workload, spec2000_like_suite
@@ -69,7 +72,7 @@ from .obs import (
 from . import variation
 from .variation import VariationModel
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ADAPTIVE_ENVIRONMENTS",
@@ -87,6 +90,7 @@ __all__ = [
     "RunSpec",
     "RunnerConfig",
     "Settings",
+    "SweepSpec",
     "TS",
     "TS_ASV",
     "TS_ASV_Q_FU",
@@ -103,7 +107,9 @@ __all__ = [
     "obs",
     "optimize_phase",
     "optimize_phases_batched",
+    "pareto_front",
     "quick_adapt",
+    "run_sweep",
     "span",
     "spec2000_like_suite",
     "variation",

@@ -8,6 +8,16 @@ artifact cache.
 
 from .area_table import area_rows, run_area_table
 from .cache import ExperimentCache
+from .dse import (
+    Axis,
+    Objective,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    ZipAxes,
+    pareto_front,
+    run_sweep,
+)
 from .engine import RunResult, RunSpec
 from .fig1_paths import Fig1Result, run_fig1
 from .fig2_taxonomy import Fig2Result, run_fig2
@@ -27,8 +37,16 @@ from .runner import (
 from .table2_accuracy import Table2Result, run_table2
 
 __all__ = [
+    "Axis",
     "ExperimentCache",
     "ExperimentRunner",
+    "Objective",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "ZipAxes",
+    "pareto_front",
+    "run_sweep",
     "Fig13Result",
     "Fig1Result",
     "Fig2Result",

@@ -6,6 +6,11 @@ Usage::
     python -m repro.exps fig10 --chips 20 --cores 2
     python -m repro.exps fig10 fig11 --chips 100 --cores 4 --jobs 8 \
         --cache-dir ~/.cache/eval-repro
+    python -m repro.exps dse run --spec sweep.json --out sweep-out/
+
+``dse`` delegates to the design-space-exploration CLI
+(:mod:`repro.exps.dse.cli`: declarative sweeps -> campaign service ->
+Pareto analytics).
 
 Figures 10-12 share one ladder computation; requesting several of them in
 one invocation reuses it.  ``--jobs N`` shards the Monte-Carlo population
@@ -40,7 +45,7 @@ from .fig13_outcomes import OUTCOME_ORDER, run_fig13
 from .ladder import run_ladder
 from .reporting import format_series, format_table
 from .retiming_comparison import run_retiming_comparison
-from .runner import ExperimentRunner, RunnerConfig
+from .runner import ExperimentRunner
 from .sensitivity import run_sensitivity
 from .table2_accuracy import run_table2
 
@@ -64,6 +69,11 @@ def _print_ladder(result, target: str) -> None:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "dse":
+        from .dse.cli import main as dse_main
+
+        return dse_main(argv[1:])
     env_defaults = Settings.from_env()
     parser = argparse.ArgumentParser(
         prog="python -m repro.exps",
@@ -101,16 +111,7 @@ def main(argv=None) -> int:
     def get_runner():
         nonlocal runner
         if runner is None:
-            runner = ExperimentRunner(
-                RunnerConfig(
-                    n_chips=settings.chips,
-                    cores_per_chip=settings.cores,
-                    fuzzy_examples=settings.fc_examples,
-                    seed=settings.seed,
-                ),
-                cache=settings.build_cache(),
-                batch_phases=settings.batch_phases,
-            )
+            runner = ExperimentRunner.from_settings(settings)
         return runner
 
     for target in targets:

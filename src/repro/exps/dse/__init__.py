@@ -1,0 +1,60 @@
+"""``repro.exps.dse`` — design-space-exploration campaigns.
+
+Declare a sweep (:class:`SweepSpec`), drive it through the campaign
+service (:func:`run_sweep` — coalescing and the content-addressed cache
+make overlapping and re-run sweeps near-free), then reduce the tidy
+results table to Pareto frontiers and per-axis sensitivities
+(:func:`pareto_front`, :func:`sensitivity`).
+
+Quickstart::
+
+    from repro import Settings, SweepSpec, pareto_front, run_sweep
+    from repro.exps.dse import Axis
+
+    spec = SweepSpec(
+        axes=(
+            Axis.of("environment", ["TS", "TS+ASV", "TS+ASV+ABB"]),
+            Axis.of("mode", ["Static", "Exh-Dyn"]),
+            Axis.logrange("phi", 0.25, 1.0, 3),
+        ),
+    )
+    result = run_sweep(spec, Settings(cache_dir="~/.cache/eval-repro"))
+    for row in pareto_front(result.rows):
+        print(row["point"], row["perf_rel"], row["power"])
+
+Command line: ``python -m repro.exps dse expand|run|report`` (see
+:mod:`repro.exps.dse.cli`).
+"""
+
+from .drive import RemoteSweepError, SweepResult, error_fraction, run_sweep
+from .pareto import DEFAULT_OBJECTIVES, Objective, pareto_front, sensitivity
+from .report import load_results, write_artifacts
+from .spec import (
+    CELL_PARAMS,
+    RUNNER_PARAMS,
+    Axis,
+    SweepPoint,
+    SweepSpec,
+    ZipAxes,
+    dedupe_points,
+)
+
+__all__ = [
+    "Axis",
+    "CELL_PARAMS",
+    "DEFAULT_OBJECTIVES",
+    "Objective",
+    "RUNNER_PARAMS",
+    "RemoteSweepError",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "ZipAxes",
+    "dedupe_points",
+    "error_fraction",
+    "load_results",
+    "pareto_front",
+    "run_sweep",
+    "sensitivity",
+    "write_artifacts",
+]

@@ -1,0 +1,151 @@
+"""Exact Pareto-frontier and sensitivity analytics over sweep rows.
+
+Operates on the tidy row dicts produced by :mod:`repro.exps.dse.drive`
+(one row per sweep point, metric columns ``f_rel`` / ``perf_rel`` /
+``power`` / ``error_frac`` plus the parameter columns), but is generic:
+any list of dicts with numeric objective columns works.
+
+The frontier is exact (O(n²) pairwise dominance — sweep tables are
+thousands of points at most) and deterministic: the output order and
+tie-breaking depend only on the objective values and the stable
+``point`` ids, never on input order or parallelism, so a ``--jobs 8``
+sweep yields a bit-identical frontier to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+#: Default objective set: the paper's Figure 10-12 trade-off (performance
+#: up, power down) plus the error-rate dimension EVAL trades against.
+DEFAULT_OBJECTIVES: Tuple["Objective", ...]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One objective column and its direction."""
+
+    key: str
+    goal: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.goal not in ("max", "min"):
+            raise ValueError(f"objective goal must be max|min, got {self.goal!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Objective":
+        """Parse ``key:max`` / ``key:min`` (bare ``key`` means max)."""
+        key, sep, goal = text.partition(":")
+        if not key:
+            raise ValueError(f"empty objective in {text!r}")
+        return cls(key, goal if sep else "max")
+
+    def value(self, row: Mapping[str, Any]) -> float:
+        try:
+            return float(row[self.key])
+        except KeyError as exc:
+            raise KeyError(
+                f"row has no objective column {self.key!r} "
+                f"(columns: {sorted(row)})"
+            ) from exc
+
+    def ascending(self, row: Mapping[str, Any]) -> float:
+        """The value oriented so that *smaller is better* (sort key)."""
+        value = self.value(row)
+        return value if self.goal == "min" else -value
+
+
+DEFAULT_OBJECTIVES = (
+    Objective("perf_rel", "max"),
+    Objective("power", "min"),
+    Objective("error_frac", "min"),
+)
+
+
+def _dominates(
+    a: Sequence[float], b: Sequence[float]
+) -> bool:
+    """True if ascending-oriented vector ``a`` dominates ``b``."""
+    no_worse = all(x <= y for x, y in zip(a, b))
+    return no_worse and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(
+    rows: Sequence[Mapping[str, Any]],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+    id_key: str = "point",
+) -> List[Dict[str, Any]]:
+    """The exact k-objective Pareto-optimal subset of ``rows``.
+
+    A row survives unless some other row is at least as good on every
+    objective and strictly better on one.  Rows with identical objective
+    vectors all survive together (neither dominates).  The result is
+    sorted by the ascending-oriented objective tuple, ties broken by the
+    row's stable id column, so the frontier is reproducible regardless
+    of input order.
+    """
+    objectives = tuple(objectives)
+    if not objectives:
+        raise ValueError("pareto_front needs at least one objective")
+    vectors = [
+        tuple(objective.ascending(row) for objective in objectives)
+        for row in rows
+    ]
+    front = [
+        dict(row)
+        for row, vector in zip(rows, vectors)
+        if not any(
+            _dominates(other, vector) for other in vectors if other != vector
+        )
+    ]
+    front.sort(
+        key=lambda row: (
+            tuple(objective.ascending(row) for objective in objectives),
+            str(row.get(id_key, "")),
+        )
+    )
+    return front
+
+
+def sensitivity(
+    rows: Sequence[Mapping[str, Any]],
+    params: Sequence[str],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> Dict[str, Dict[str, Any]]:
+    """Per-axis one-at-a-time sensitivity of each objective.
+
+    For each swept parameter: group the rows by that parameter's value,
+    average every objective within each group, and report the spread
+    (max - min of the group means).  A large spread means the objective
+    responds strongly to that axis *marginalised over all the others* —
+    the standard main-effect reading of a full-factorial sweep.
+    """
+    report: Dict[str, Dict[str, Any]] = {}
+    for param in params:
+        groups: Dict[str, List[Mapping[str, Any]]] = {}
+        for row in rows:
+            if param not in row:
+                continue
+            groups.setdefault(str(row[param]), []).append(row)
+        if len(groups) < 2:
+            continue  # fixed or missing: no marginal effect to measure
+        means = {
+            value: {
+                objective.key: sum(objective.value(r) for r in group)
+                / len(group)
+                for objective in objectives
+            }
+            for value, group in sorted(groups.items())
+        }
+        report[param] = {
+            "values": means,
+            "spread": {
+                objective.key: (
+                    max(m[objective.key] for m in means.values())
+                    - min(m[objective.key] for m in means.values())
+                )
+                for objective in objectives
+            },
+        }
+    return report

@@ -1,0 +1,145 @@
+"""Sweep artifacts: tidy CSV/JSON tables, Pareto CSV, report document.
+
+One sweep writes four files under its output directory::
+
+    results.csv    the tidy per-point table (spreadsheet-ready)
+    results.json   the same rows plus the sweep spec and dedup stats
+                   (the machine-readable source of truth; ``dse report``
+                   re-analyses from this file alone)
+    pareto.csv     the Pareto-optimal subset under the chosen objectives
+    report.json    objectives, frontier ids, per-axis sensitivity
+
+Rows are written in expansion order and all analytics are deterministic
+(see :mod:`repro.exps.dse.pareto`), so two runs of the same sweep—at any
+parallelism—produce byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+from .pareto import DEFAULT_OBJECTIVES, Objective, pareto_front, sensitivity
+from .spec import SweepSpec
+
+#: Non-parameter columns, in output order (parameters sit between).
+_LEADING = ("point", "index")
+_METRICS = ("f_rel", "perf_rel", "power", "error_frac", "source")
+
+
+def _columns(rows: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Stable column order: ids, parameters (first-seen), metrics."""
+    params: List[str] = []
+    for row in rows:
+        for name in row:
+            if name not in _LEADING and name not in _METRICS and name not in params:
+                params.append(name)
+    return list(_LEADING) + params + list(_METRICS)
+
+
+def swept_columns(rows: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Parameter columns that take more than one value across ``rows``."""
+    names = [
+        name for name in _columns(rows)
+        if name not in _LEADING and name not in _METRICS
+    ]
+    return [
+        name for name in names
+        if len({str(row.get(name)) for row in rows}) > 1
+    ]
+
+
+def _write_csv(
+    path: Path, rows: Sequence[Mapping[str, Any]], columns: Sequence[str]
+) -> None:
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=list(columns), extrasaction="ignore"
+        )
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in columns})
+
+
+def _dump_json(path: Path, document: Any) -> None:
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def write_artifacts(
+    result,
+    out_dir: Union[str, Path],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> Dict[str, Path]:
+    """Write the four artifact files for a :class:`~.drive.SweepResult`.
+
+    Returns the path of each artifact keyed by its short name.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    columns = _columns(result.rows)
+    paths = {
+        "results_csv": out / "results.csv",
+        "results_json": out / "results.json",
+        "pareto_csv": out / "pareto.csv",
+        "report_json": out / "report.json",
+    }
+    _write_csv(paths["results_csv"], result.rows, columns)
+    _dump_json(
+        paths["results_json"],
+        {
+            "spec": result.spec.to_wire(),
+            "stats": result.stats,
+            "rows": result.rows,
+        },
+    )
+    front = pareto_front(result.rows, objectives)
+    _write_csv(paths["pareto_csv"], front, columns)
+    _dump_json(
+        paths["report_json"],
+        analysis_document(result.rows, objectives, result.swept_params(),
+                          stats=result.stats),
+    )
+    return paths
+
+
+def analysis_document(
+    rows: Sequence[Mapping[str, Any]],
+    objectives: Sequence[Objective],
+    swept_params: Sequence[str],
+    stats: Mapping[str, Any] = (),
+) -> Dict[str, Any]:
+    """The ``report.json`` document: frontier + sensitivity + stats."""
+    front = pareto_front(rows, objectives)
+    return {
+        "objectives": [f"{o.key}:{o.goal}" for o in objectives],
+        "stats": dict(stats),
+        "pareto": {
+            "size": len(front),
+            "points": [row["point"] for row in front],
+            "rows": front,
+        },
+        "sensitivity": sensitivity(rows, swept_params, objectives),
+    }
+
+
+def load_results(
+    path: Union[str, Path],
+) -> Tuple[SweepSpec, List[Dict[str, Any]], Dict[str, Any]]:
+    """Read a ``results.json`` back: (spec, rows, stats).
+
+    Accepts either the file itself or the sweep output directory.
+    """
+    path = Path(path)
+    if path.is_dir():
+        path = path / "results.json"
+    with path.open("r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return (
+        SweepSpec.from_wire(document["spec"]),
+        list(document["rows"]),
+        dict(document.get("stats", {})),
+    )

@@ -159,6 +159,29 @@ class RunSpec:
         if self.parallelism < 1:
             raise ValueError("parallelism must be >= 1")
 
+    @classmethod
+    def from_settings(cls, settings, **overrides) -> "RunSpec":
+        """Build a spec whose execution knobs come from a ``Settings``.
+
+        This is the one sanctioned way to turn the runtime-knob bundle
+        (:class:`repro.config.Settings`) into campaign execution fields —
+        ``parallelism`` from ``jobs``, ``cache_dir``/``use_cache`` from the
+        cache knobs, ``shared_mem`` — so call sites stop hand-rolling the
+        mapping.  Campaign *content* (``environments``, ``modes``,
+        ``workloads``) and any explicit execution override ride in through
+        ``overrides``::
+
+            spec = RunSpec.from_settings(settings, environments=(TS,))
+        """
+        fields = dict(
+            parallelism=settings.jobs,
+            cache_dir=settings.effective_cache_dir,
+            use_cache=settings.cache_enabled,
+            shared_mem=settings.shared_mem,
+        )
+        fields.update(overrides)
+        return cls(**fields)
+
     def pairs(self) -> List[Tuple[Environment, AdaptationMode]]:
         """The (environment, mode) cells of the campaign, in grid order."""
         return [(env, mode) for env in self.environments for mode in self.modes]

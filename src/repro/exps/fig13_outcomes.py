@@ -70,14 +70,8 @@ def run_fig13(
     ``settings`` (a :class:`repro.config.Settings` bundle) overrides
     ``parallelism`` and supplies the artifact-cache configuration.
     """
-    cache_dir = None
-    use_cache = True
-    shared_mem = True
-    if settings is not None:
-        parallelism = settings.jobs
-        cache_dir = settings.effective_cache_dir
-        use_cache = settings.cache_enabled
-        shared_mem = settings.shared_mem
+    if settings is None:
+        settings = Settings(jobs=parallelism)
     runner = runner or ExperimentRunner(RunnerConfig(n_chips=8))
     environments = environments or CONTROLLER_STUDY_ENVIRONMENTS
 
@@ -90,13 +84,10 @@ def run_fig13(
     ]
     # One campaign for the whole grid: the engine shards every
     # (environment, chip, core) unit across the worker pool at once.
-    run = runner.run(RunSpec(
+    run = runner.run(RunSpec.from_settings(
+        settings,
         environments=tuple(env for _, _, env in cells),
         modes=(AdaptationMode.FUZZY_DYN,),
-        parallelism=parallelism,
-        cache_dir=cache_dir,
-        use_cache=use_cache,
-        shared_mem=shared_mem,
     ))
 
     fractions: Dict[Tuple[str, str], Dict[str, float]] = {}

@@ -98,36 +98,33 @@ def run_ladder(
         shared_mem: Broadcast the population to pool workers over shared
             memory (``--shared-mem``); bit-identical either way.
     """
-    if settings is not None:
-        parallelism = settings.jobs
-        cache_dir = settings.effective_cache_dir
-        use_cache = settings.cache_enabled
-        shared_mem = settings.shared_mem
+    if settings is None:
+        # Legacy per-knob arguments: fold them into a Settings bundle so
+        # RunSpec construction has exactly one source of truth.
+        settings = Settings(
+            jobs=parallelism,
+            cache_dir=cache_dir,
+            cache_enabled=use_cache,
+            shared_mem=shared_mem,
+        )
     runner = runner or ExperimentRunner(
-        RunnerConfig(),
-        batch_phases=settings.batch_phases if settings is not None else True,
+        RunnerConfig(), batch_phases=settings.batch_phases
     )
     environments = (
         list(environments) if environments is not None else list(ADAPTIVE_ENVIRONMENTS)
     )
     grid = runner.run(
-        RunSpec(
+        RunSpec.from_settings(
+            settings,
             environments=tuple(environments),
             modes=tuple(modes),
-            parallelism=parallelism,
-            cache_dir=cache_dir,
-            use_cache=use_cache,
-            shared_mem=shared_mem,
         )
     )
     anchors = runner.run(
-        RunSpec(
+        RunSpec.from_settings(
+            settings,
             environments=(BASELINE, NOVAR),
             modes=(AdaptationMode.EXH_DYN,),
-            parallelism=parallelism,
-            cache_dir=cache_dir,
-            use_cache=use_cache,
-            shared_mem=shared_mem,
         )
     )
     result = LadderResult(

@@ -10,7 +10,8 @@ The single entry point is :meth:`ExperimentRunner.run`, which takes a
 :class:`~repro.exps.engine.RunSpec` describing the (environment, mode)
 grid, the parallelism, and the on-disk artifact cache, and returns a
 :class:`~repro.exps.engine.RunResult` of :class:`SuiteSummary` cells.
-``run_environment`` / ``baseline_summary`` remain as deprecated shims.
+(The pre-engine ``run_environment`` / ``baseline_summary`` shims, long
+deprecated, were removed in 1.6.0.)
 
 Scale knobs: the paper uses 100 chips x 4 cores.  That is available
 (``RunnerConfig(n_chips=100, cores_per_chip=4)``), but the default is a
@@ -22,9 +23,9 @@ Paper-scale runs are sharded across worker processes with
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import logging
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -41,7 +42,6 @@ from ..core.adaptation import (
     optimize_phases_batched,
 )
 from ..core.environments import (
-    BASELINE,
     NOVAR,
     AdaptationMode,
     Environment,
@@ -68,7 +68,15 @@ log = logging.getLogger("repro.exps.runner")
 
 @dataclass(frozen=True)
 class RunnerConfig:
-    """Scale and reproducibility knobs for an experiment run."""
+    """Scale and reproducibility knobs for an experiment run.
+
+    Every field here is *physics-relevant* and therefore hashed into the
+    content-addressed cache keys (:func:`repro.exps.cache.summary_key`):
+    changing any of them can change results, so it must change the key.
+    Pure execution strategy (``batch_phases``, parallelism, transport)
+    lives on :class:`ExperimentRunner` / :class:`~repro.exps.engine.
+    RunSpec` instead.
+    """
 
     n_chips: int = 20
     cores_per_chip: int = 1
@@ -76,10 +84,35 @@ class RunnerConfig:
     seed: int = 7
     fuzzy_examples: int = 4000  # per-FC training examples (paper: 10,000)
     fuzzy_epochs: int = 2
+    #: Correlation range of the systematic variation surfaces, in
+    #: die-width units (``None``: the paper's phi = 0.5 via
+    #: :data:`~repro.variation.maps.DEFAULT_VARIATION_PARAMS`).  A DSE
+    #: sweep axis — part of the hashed config so summaries drawn at
+    #: different phi never collide in the cache.
+    phi: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_chips < 1 or not 1 <= self.cores_per_chip <= 4:
             raise ValueError("need >=1 chip and 1..4 cores per chip")
+        if self.phi is not None and self.phi <= 0.0:
+            raise ValueError("phi must be positive")
+
+    @classmethod
+    def from_settings(cls, settings, **overrides) -> "RunnerConfig":
+        """Scale knobs from a :class:`repro.config.Settings` bundle.
+
+        Maps ``chips``/``cores``/``fc_examples``/``seed`` onto the
+        dataclass fields; anything else (``n_instructions``, ``phi``,
+        ``fuzzy_epochs``) rides in through ``overrides``.
+        """
+        fields = dict(
+            n_chips=settings.chips,
+            cores_per_chip=settings.cores,
+            fuzzy_examples=settings.fc_examples,
+            seed=settings.seed,
+        )
+        fields.update(overrides)
+        return cls(**fields)
 
 
 @dataclass(frozen=True)
@@ -218,7 +251,12 @@ class ExperimentRunner:
                 )
             self._population = population
         else:
-            self._population = VariationModel().population(
+            model = VariationModel()
+            if config.phi is not None:
+                model = VariationModel(
+                    params=dataclasses.replace(model.params, phi=config.phi)
+                )
+            self._population = model.population(
                 config.n_chips, seed=config.seed
             )
         self._cores: Dict[Tuple[int, int], Core] = {}
@@ -227,6 +265,25 @@ class ExperimentRunner:
         self._measurements: Dict[
             Tuple, Tuple[WorkloadMeasurement, Optional[WorkloadMeasurement]]
         ] = {}
+
+    @classmethod
+    def from_settings(cls, settings, **overrides) -> "ExperimentRunner":
+        """Build a runner whose knobs come from a ``Settings`` bundle.
+
+        The one sanctioned ``Settings`` → runner mapping (scale knobs via
+        :meth:`RunnerConfig.from_settings`, ``cache`` via
+        :meth:`~repro.config.Settings.build_cache`, ``batch_phases``),
+        shared by the exps CLI, the service daemon, the DSE sweep driver
+        and the benchmark harness.  ``overrides`` are passed through to
+        the constructor (``config=``, ``calib=``, ``workloads=``, ...).
+        """
+        fields = dict(
+            config=RunnerConfig.from_settings(settings),
+            cache=settings.build_cache(),
+            batch_phases=settings.batch_phases,
+        )
+        fields.update(overrides)
+        return cls(**fields)
 
     # ------------------------------------------------------------------
     # Cached building blocks.
@@ -526,54 +583,6 @@ class ExperimentRunner:
                         )
                     )
         return summarise(results)
-
-    # ------------------------------------------------------------------
-    # Deprecated shims (pre-engine API).
-    # ------------------------------------------------------------------
-    def run_environment(
-        self,
-        env: Environment,
-        mode: AdaptationMode = AdaptationMode.EXH_DYN,
-        workloads: Optional[Sequence[WorkloadProfile]] = None,
-    ) -> SuiteSummary:
-        """Deprecated: use :meth:`run` with a :class:`RunSpec`."""
-        warnings.warn(
-            "ExperimentRunner.run_environment() is deprecated; use "
-            "ExperimentRunner.run(RunSpec(environments=..., modes=...))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from .engine import RunSpec
-
-        spec = RunSpec(
-            environments=(env,),
-            modes=(mode,),
-            workloads=tuple(workloads) if workloads is not None else None,
-        )
-        return self.run(spec).summary(env, mode)
-
-    def baseline_summary(self) -> SuiteSummary:
-        """Deprecated: use :meth:`run` with a :class:`RunSpec`."""
-        warnings.warn(
-            "ExperimentRunner.baseline_summary() is deprecated; use "
-            "ExperimentRunner.run(RunSpec(environments=(BASELINE,)))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from .engine import RunSpec
-
-        spec = RunSpec(environments=(BASELINE,), modes=(AdaptationMode.EXH_DYN,))
-        return self.run(spec).summary(BASELINE, AdaptationMode.EXH_DYN)
-
-    def _run_novar(self, workloads=None) -> SuiteSummary:
-        """Deprecated: use :meth:`novar_summary`."""
-        warnings.warn(
-            "ExperimentRunner._run_novar() is deprecated; use "
-            "ExperimentRunner.novar_summary()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.novar_summary(workloads)
 
     # ------------------------------------------------------------------
     # Internals.

@@ -25,7 +25,10 @@ from .daemon import DEFAULT_ADDRESS, ServiceClient, ServiceDaemon, parse_address
 from .jobs import CellFailure, Job, JobState
 from .protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
     ProtocolError,
+    ProtocolVersionError,
+    check_version,
     spec_from_wire,
     spec_to_wire,
     summaries_from_wire,
@@ -55,7 +58,9 @@ __all__ = [
     "JobState",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "ProtocolVersionError",
     "RetryPolicy",
+    "SUPPORTED_PROTOCOL_VERSIONS",
     "ServiceBusyError",
     "ServiceClient",
     "ServiceDaemon",
@@ -64,6 +69,7 @@ __all__ = [
     "UnitTimeoutError",
     "UnknownJobError",
     "build_cell",
+    "check_version",
     "parse_address",
     "run_ladder_remote",
     "spec_from_wire",

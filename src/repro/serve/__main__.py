@@ -63,7 +63,7 @@ def _wait_and_print(client: ServiceClient, job_id: str,
 
 
 def _run_daemon(args: argparse.Namespace, env_defaults: Settings) -> int:
-    from ..exps.runner import ExperimentRunner, RunnerConfig
+    from ..exps.runner import ExperimentRunner
 
     try:
         settings = Settings.from_args(args, base=env_defaults)
@@ -71,16 +71,7 @@ def _run_daemon(args: argparse.Namespace, env_defaults: Settings) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     settings.configure()
-    runner = ExperimentRunner(
-        RunnerConfig(
-            n_chips=settings.chips,
-            cores_per_chip=settings.cores,
-            fuzzy_examples=settings.fc_examples,
-            seed=settings.seed,
-        ),
-        cache=settings.build_cache(),
-        batch_phases=settings.batch_phases,
-    )
+    runner = ExperimentRunner.from_settings(settings)
     service = CampaignService(runner, settings=settings)
     daemon = ServiceDaemon(service, address=args.addr)
     print(f"campaign service listening on {daemon.address}", flush=True)

@@ -21,12 +21,15 @@ import threading
 import time
 from typing import Any, Dict, Optional, Tuple
 
-from .. import obs
+from .. import __version__, obs
 from ..exps.engine import RunSpec
 from .jobs import CellFailure
 from .protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
     ProtocolError,
+    ProtocolVersionError,
+    check_version,
     decode_line,
     encode_line,
     error,
@@ -149,8 +152,22 @@ class ServiceDaemon:
         :class:`ServiceError` (they become structured error responses)."""
         op = request.get("op")
         try:
+            check_version(request)
+        except ProtocolVersionError as exc:
+            # Structured rejection, not a KeyError: the client learns what
+            # majors this daemon speaks and can downgrade or upgrade.
+            return error(
+                str(exc),
+                kind="version",
+                requested=exc.requested,
+                supported=list(SUPPORTED_PROTOCOL_VERSIONS),
+            )
+        try:
             if op == "ping":
-                return ok(version=PROTOCOL_VERSION, **self.service.stats())
+                return ok(
+                    __version__=__version__,
+                    **self.service.stats(),
+                )
             if op == "submit":
                 spec = spec_from_wire(request.get("spec") or {})
                 job_id = self.service.submit(
@@ -215,7 +232,7 @@ class ServiceClient:
     # -- plumbing --------------------------------------------------------
     def request(self, op: str, **payload: Any) -> Dict[str, Any]:
         """One request/response round trip; raises on error envelopes."""
-        frame = encode_line({"op": op, **payload})
+        frame = encode_line({"op": op, "v": PROTOCOL_VERSION, **payload})
         # The socket read must outlive the server-side result wait.
         io_timeout = self._connect_timeout + float(payload.get("timeout", 0.0))
         with socket.create_connection(
@@ -233,6 +250,8 @@ class ServiceClient:
     def _raise(self, response: Dict[str, Any]) -> None:
         kind = response.get("kind")
         message = response.get("error", "request failed")
+        if kind == "version":
+            raise ProtocolError(message)
         if kind == "busy":
             raise ServiceBusyError(message)
         if kind == "unknown-job":

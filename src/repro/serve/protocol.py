@@ -30,12 +30,47 @@ from ..exps.engine import RunSpec
 from ..exps.runner import SuiteSummary
 from ..microarch.workloads import WorkloadProfile, spec2000_like_suite
 
-#: Bumped on breaking wire-format changes; daemons reject mismatches.
-PROTOCOL_VERSION = 1
+#: The protocol major this build speaks.  Bumped on breaking wire-format
+#: changes; every request and response carries it in a ``"v"`` field.
+#: v2 added the explicit version handshake itself (requests may carry
+#: ``"v"``; ``ping`` reports ``{"v", "__version__"}``).
+PROTOCOL_VERSION = 2
+
+#: Majors this build still understands.  v1 requests (no ``"v"`` field,
+#: or ``"v": 1``) predate the handshake and are accepted unchanged — the
+#: operation surface is identical.
+SUPPORTED_PROTOCOL_VERSIONS = (1, 2)
 
 
 class ProtocolError(ValueError):
     """A request/response line that cannot be decoded or resolved."""
+
+
+class ProtocolVersionError(ProtocolError):
+    """A request whose protocol major this daemon does not speak."""
+
+    def __init__(self, requested: Any):
+        self.requested = requested
+        super().__init__(
+            f"unsupported protocol version {requested!r} "
+            f"(supported: {list(SUPPORTED_PROTOCOL_VERSIONS)})"
+        )
+
+
+def check_version(request: Dict[str, Any]) -> int:
+    """Validate a request's ``"v"`` field; returns the effective major.
+
+    A missing field means a v1 client (the handshake did not exist yet).
+    Anything that is not a supported integer major raises
+    :class:`ProtocolVersionError` so the daemon answers with a structured
+    error instead of a ``KeyError`` deep in dispatch.
+    """
+    requested = request.get("v", 1)
+    if not isinstance(requested, int) or isinstance(requested, bool):
+        raise ProtocolVersionError(requested)
+    if requested not in SUPPORTED_PROTOCOL_VERSIONS:
+        raise ProtocolVersionError(requested)
+    return requested
 
 
 # ----------------------------------------------------------------------
@@ -130,10 +165,10 @@ def decode_line(line: bytes) -> Dict[str, Any]:
 
 
 def ok(**payload: Any) -> Dict[str, Any]:
-    """A success response envelope."""
-    return {"ok": True, **payload}
+    """A success response envelope (stamped with the protocol major)."""
+    return {"ok": True, "v": PROTOCOL_VERSION, **payload}
 
 
 def error(message: str, **payload: Any) -> Dict[str, Any]:
     """A failure response envelope (the daemon never sends tracebacks)."""
-    return {"ok": False, "error": message, **payload}
+    return {"ok": False, "v": PROTOCOL_VERSION, "error": message, **payload}

@@ -91,18 +91,7 @@ class CampaignService:
         """
         settings = settings if settings is not None else Settings()
         if runner is None:
-            from ..exps.runner import RunnerConfig
-
-            runner = ExperimentRunner(
-                RunnerConfig(
-                    n_chips=settings.chips,
-                    cores_per_chip=settings.cores,
-                    fuzzy_examples=settings.fc_examples,
-                    seed=settings.seed,
-                ),
-                cache=settings.build_cache(),
-                batch_phases=settings.batch_phases,
-            )
+            runner = ExperimentRunner.from_settings(settings)
         self.runner = runner
         self.cache = (
             cache if cache is not None

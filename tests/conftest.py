@@ -12,8 +12,11 @@ import pytest
 
 from repro.calibration import DEFAULT_CALIBRATION
 from repro.chip import build_core, build_novar_core
-from repro.core import TS, TS_ASV
+from repro.core import TS, TS_ASV, AdaptationMode
+from repro.exps.engine import RunSpec
 from repro.exps.runner import ExperimentRunner, RunnerConfig
+
+
 from repro.microarch import (
     DEFAULT_CORE_CONFIG,
     generate_trace,
@@ -22,6 +25,13 @@ from repro.microarch import (
 )
 from repro.ml import train_controller_bank
 from repro.variation import DieGrid, VariationModel
+
+
+def run_env(runner, env, mode=AdaptationMode.EXH_DYN, workloads=None):
+    """One-cell shorthand over ``runner.run`` (the pre-1.6
+    ``run_environment`` shim, now test-local)."""
+    spec = RunSpec(environments=(env,), modes=(mode,), workloads=workloads)
+    return runner.run(spec).summary(env, mode)
 
 
 @pytest.fixture(scope="session")

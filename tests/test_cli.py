@@ -56,6 +56,70 @@ class TestCLISettings:
         assert flag_path.exists() and not env_path.exists()
 
 
+@pytest.fixture(scope="module")
+def dse_spec_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("dse-cli") / "sweep.json"
+    path.write_text(json.dumps({
+        "base": {"chips": 1, "n_instructions": 1500, "fc_examples": 300},
+        "axes": [
+            {"param": "environment", "values": ["TS", "TS+ASV"]},
+        ],
+    }))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def dse_run_dir(dse_spec_path, tmp_path_factory):
+    """One tiny `dse run` shared by the run/report assertions."""
+    out = tmp_path_factory.mktemp("dse-out")
+    assert main([
+        "dse", "run", "--spec", dse_spec_path, "--out", str(out),
+        "--cache-dir", str(tmp_path_factory.mktemp("dse-cli-cache")),
+        "--metrics-out", str(out / "metrics.json"),
+    ]) == 0
+    return out
+
+
+class TestDseCLI:
+    def test_expand_table(self, dse_spec_path, capsys):
+        assert main(["dse", "expand", "--spec", dse_spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+        assert "TS+ASV" in out
+
+    def test_expand_json(self, dse_spec_path, capsys):
+        assert main(["dse", "expand", "--spec", dse_spec_path, "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        points = [json.loads(line) for line in lines]
+        assert len(points) == 2
+        assert points[0]["index"] == 0
+        assert points[0]["params"]["environment"] == "TS"
+        assert len(points[0]["point"]) == 16
+
+    def test_run_writes_artifacts(self, dse_run_dir):
+        for name in ("results.csv", "results.json", "pareto.csv",
+                     "report.json"):
+            assert (dse_run_dir / name).exists()
+        metrics = json.loads((dse_run_dir / "metrics.json").read_text())
+        assert metrics["counters"]["dse.points"] >= 2
+
+    def test_report_reanalyses(self, dse_run_dir, capsys):
+        assert main([
+            "dse", "report", "--results", str(dse_run_dir),
+            "--objective", "f_rel:max", "--objective", "power:min",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "f_rel:max power:min" in out
+
+    def test_run_rejects_bad_objective(self, dse_spec_path, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "dse", "run", "--spec", dse_spec_path,
+                "--out", str(tmp_path), "--objective", ":max",
+            ])
+
+
 class TestVersion:
     def test_exps_version(self, capsys):
         from repro import __version__

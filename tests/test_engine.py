@@ -31,14 +31,11 @@ def two_workloads():
 
 
 class TestRunAPI:
-    def test_run_matches_legacy_entry_point(self, two_workloads):
+    def test_shims_removed(self):
+        """The pre-engine per-cell entry points are gone in 1.6."""
         runner = ExperimentRunner(ENGINE_CONFIG)
-        summary = runner.run(
-            RunSpec(environments=(TS,), workloads=two_workloads)
-        ).summary(TS)
-        with pytest.deprecated_call():
-            legacy = runner.run_environment(TS, workloads=two_workloads)
-        assert legacy.results == summary.results
+        for name in ("run_environment", "baseline_summary", "_run_novar"):
+            assert not hasattr(runner, name)
 
     def test_novar_under_any_mode(self):
         runner = ExperimentRunner(ENGINE_CONFIG)
@@ -62,12 +59,80 @@ class TestRunAPI:
         with pytest.raises(ValueError):
             RunSpec(environments=(TS,), parallelism=0)
 
-    def test_deprecated_shims_warn(self):
+    def test_novar_still_reachable_through_run(self):
         runner = ExperimentRunner(ENGINE_CONFIG)
-        with pytest.deprecated_call():
-            runner._run_novar()
-        with pytest.deprecated_call():
-            runner.run_environment(NOVAR)
+        summary = runner.run(RunSpec(environments=(NOVAR,))).summary(NOVAR)
+        assert summary.f_rel == pytest.approx(1.0)
+
+
+class TestFromSettings:
+    """The sanctioned Settings -> spec/config/runner mappings (1.6)."""
+
+    def test_runspec_from_settings(self):
+        from repro.config import Settings
+
+        settings = Settings(jobs=3, cache_dir="/tmp/x", shared_mem=False)
+        spec = RunSpec.from_settings(settings, environments=(TS,))
+        assert spec.parallelism == 3
+        assert spec.cache_dir == "/tmp/x"
+        assert spec.use_cache
+        assert not spec.shared_mem
+        # cache_enabled=False zeroes the effective cache directory.
+        spec = RunSpec.from_settings(
+            settings.replace(cache_enabled=False), environments=(TS,)
+        )
+        assert spec.cache_dir is None
+        assert not spec.use_cache
+
+    def test_runspec_from_settings_overrides_win(self):
+        from repro.config import Settings
+
+        spec = RunSpec.from_settings(
+            Settings(jobs=3), environments=(TS,), parallelism=7
+        )
+        assert spec.parallelism == 7
+
+    def test_runner_config_from_settings(self):
+        from repro.config import Settings
+
+        settings = Settings(chips=5, cores=2, fc_examples=123, seed=99)
+        config = RunnerConfig.from_settings(settings, n_instructions=4000)
+        assert config.n_chips == 5
+        assert config.cores_per_chip == 2
+        assert config.fuzzy_examples == 123
+        assert config.seed == 99
+        assert config.n_instructions == 4000
+
+    def test_runner_from_settings(self, tmp_path):
+        from repro.config import Settings
+
+        settings = Settings(
+            chips=2, cache_dir=str(tmp_path), batch_phases=False
+        )
+        runner = ExperimentRunner.from_settings(settings)
+        assert runner.config.n_chips == 2
+        assert runner.cache is not None
+        assert not runner.batch_phases
+        override = RunnerConfig(n_chips=1)
+        runner = ExperimentRunner.from_settings(settings, config=override)
+        assert runner.config is override
+
+    def test_phi_changes_population_and_cache_key(self):
+        base = RunnerConfig(n_chips=1)
+        swept = RunnerConfig(n_chips=1, phi=0.25)
+        assert summary_key(
+            DEFAULT_CALIBRATION, base, DEFAULT_CORE_CONFIG, TS,
+            AdaptationMode.EXH_DYN, [],
+        ) != summary_key(
+            DEFAULT_CALIBRATION, swept, DEFAULT_CORE_CONFIG, TS,
+            AdaptationMode.EXH_DYN, [],
+        )
+        chips_base = ExperimentRunner(base).population
+        chips_swept = ExperimentRunner(swept).population
+        assert chips_swept[0].params.phi == 0.25
+        assert not np.array_equal(chips_base[0].vt_sys, chips_swept[0].vt_sys)
+        with pytest.raises(ValueError):
+            RunnerConfig(phi=-1.0)
 
 
 class TestParallelDeterminism:

@@ -17,38 +17,40 @@ from repro.exps import (
 )
 from repro.exps.runner import ExperimentRunner, RunnerConfig
 
+from tests.conftest import run_env
+
 
 class TestRunner:
     def test_baseline_below_novar(self, tiny_runner):
-        base = tiny_runner.run_environment(BASELINE)
+        base = run_env(tiny_runner, BASELINE)
         assert 0.6 < base.f_rel < 0.95
         assert base.perf_rel < 1.0
 
     def test_novar_is_unity(self, tiny_runner):
-        novar = tiny_runner.run_environment(NOVAR)
+        novar = run_env(tiny_runner, NOVAR)
         assert novar.f_rel == pytest.approx(1.0)
         assert novar.perf_rel == pytest.approx(1.0)
 
     def test_ts_improves_on_baseline(self, tiny_runner):
-        base = tiny_runner.run_environment(BASELINE)
-        ts = tiny_runner.run_environment(TS)
+        base = run_env(tiny_runner, BASELINE)
+        ts = run_env(tiny_runner, TS)
         assert ts.f_rel > base.f_rel
         assert ts.perf_rel > base.perf_rel
 
     def test_static_below_dynamic(self, tiny_runner):
-        static = tiny_runner.run_environment(TS_ASV, AdaptationMode.STATIC)
-        dynamic = tiny_runner.run_environment(TS_ASV, AdaptationMode.EXH_DYN)
+        static = run_env(tiny_runner, TS_ASV, AdaptationMode.STATIC)
+        dynamic = run_env(tiny_runner, TS_ASV, AdaptationMode.EXH_DYN)
         assert static.f_rel <= dynamic.f_rel + 1e-9
 
     def test_results_carry_metadata(self, tiny_runner):
-        summary = tiny_runner.run_environment(TS)
+        summary = run_env(tiny_runner, TS)
         r = summary.results[0]
         assert r.environment == "TS"
         assert r.workload.endswith("*")
         assert r.power > 0
 
     def test_phase_weights_normalised(self, tiny_runner):
-        summary = tiny_runner.run_environment(TS)
+        summary = run_env(tiny_runner, TS)
         # Summary f_rel must lie within the per-result range.
         values = [r.f_rel for r in summary.results]
         assert min(values) <= summary.f_rel <= max(values)

@@ -12,6 +12,8 @@ from repro.exps import run_table2, run_fig13
 from repro.exps.runner import ExperimentRunner, RunnerConfig
 from repro.microarch import generate_phase_stream
 
+from tests.conftest import run_env
+
 
 class TestQuickstartPath:
     def test_quick_adapt_produces_reasonable_point(self):
@@ -43,26 +45,26 @@ class TestPaperHeadlineShapes:
         )
 
     def test_baseline_loses_roughly_a_fifth_of_frequency(self, runner):
-        base = runner.run_environment(repro.BASELINE)
+        base = run_env(runner, repro.BASELINE)
         assert 0.68 <= base.f_rel <= 0.9  # paper: 0.78
 
     def test_full_eval_beats_novar_frequency(self, runner):
-        best = runner.run_environment(repro.TS_ASV_Q_FU, AdaptationMode.EXH_DYN)
+        best = run_env(runner, repro.TS_ASV_Q_FU, AdaptationMode.EXH_DYN)
         assert best.f_rel > 1.0  # paper: 1.21
 
     def test_full_eval_beats_baseline_performance_substantially(self, runner):
-        base = runner.run_environment(repro.BASELINE)
-        best = runner.run_environment(repro.TS_ASV_Q_FU, AdaptationMode.EXH_DYN)
+        base = run_env(runner, repro.BASELINE)
+        best = run_env(runner, repro.TS_ASV_Q_FU, AdaptationMode.EXH_DYN)
         assert best.perf_rel / base.perf_rel > 1.15  # paper: 1.40
 
     def test_power_stays_within_budget(self, runner):
-        best = runner.run_environment(repro.TS_ASV_Q_FU, AdaptationMode.EXH_DYN)
+        best = run_env(runner, repro.TS_ASV_Q_FU, AdaptationMode.EXH_DYN)
         for r in best.results:
             assert r.power <= repro.DEFAULT_CALIBRATION.p_max + 1e-6
 
     def test_fuzzy_close_to_exhaustive(self, runner):
-        fuzzy = runner.run_environment(TS_ASV, AdaptationMode.FUZZY_DYN)
-        exact = runner.run_environment(TS_ASV, AdaptationMode.EXH_DYN)
+        fuzzy = run_env(runner, TS_ASV, AdaptationMode.FUZZY_DYN)
+        exact = run_env(runner, TS_ASV, AdaptationMode.EXH_DYN)
         assert fuzzy.f_rel >= 0.85 * exact.f_rel  # tiny bank: loose bound
 
 

@@ -9,17 +9,21 @@ from repro.core import BASELINE, NOVAR, TS, TS_ASV, AdaptationMode
 from repro.exps import ExperimentRunner, RunnerConfig, RunSpec
 from repro.microarch import spec2000_like_suite
 from repro.serve import (
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
     CampaignService,
     CellScheduler,
     Client,
     JobCancelledError,
     JobFailedError,
     ProtocolError,
+    ProtocolVersionError,
     RetryPolicy,
     ServiceBusyError,
     ServiceClient,
     ServiceDaemon,
     UnknownJobError,
+    check_version,
     build_cell,
     parse_address,
     run_ladder_remote,
@@ -455,6 +459,38 @@ class TestProtocol:
             parse_address("no-port")
 
 
+class TestProtocolVersion:
+    def test_check_version_accepts_supported_majors(self):
+        assert check_version({"op": "ping"}) == 1  # pre-handshake client
+        assert check_version({"op": "ping", "v": 1}) == 1
+        assert check_version({"op": "ping", "v": PROTOCOL_VERSION}) == 2
+        assert PROTOCOL_VERSION in SUPPORTED_PROTOCOL_VERSIONS
+
+    @pytest.mark.parametrize("bad", [99, 0, -1, "2", 2.0, True, None])
+    def test_check_version_rejects_unknown_majors(self, bad):
+        with pytest.raises(ProtocolVersionError) as excinfo:
+            check_version({"op": "ping", "v": bad})
+        assert excinfo.value.requested == bad
+
+    def test_daemon_rejects_unknown_major_structurally(self, runner):
+        service = CampaignService(runner, workers=1)
+        with ServiceDaemon(service, address="127.0.0.1:0") as daemon:
+            response = daemon.dispatch({"op": "ping", "v": 99})
+            assert response["ok"] is False
+            assert response["kind"] == "version"
+            assert response["requested"] == 99
+            assert response["supported"] == list(SUPPORTED_PROTOCOL_VERSIONS)
+            # A v1 (no "v") request still dispatches normally.
+            assert daemon.dispatch({"op": "ping"})["ok"] is True
+
+    def test_responses_are_stamped(self, runner):
+        service = CampaignService(runner, workers=1)
+        with ServiceDaemon(service, address="127.0.0.1:0") as daemon:
+            assert daemon.dispatch({"op": "ping"})["v"] == PROTOCOL_VERSION
+            error = daemon.dispatch({"op": "ping", "v": 99})
+            assert error["v"] == PROTOCOL_VERSION
+
+
 class TestDaemon:
     @pytest.fixture()
     def daemon(self, runner):
@@ -463,8 +499,12 @@ class TestDaemon:
             yield daemon
 
     def test_end_to_end_over_socket(self, daemon, two_workloads):
+        import repro
+
         client = ServiceClient(daemon.address)
-        assert client.ping()["version"] == 1
+        ping = client.ping()
+        assert ping["v"] == PROTOCOL_VERSION
+        assert ping["__version__"] == repro.__version__
         spec = RunSpec(
             environments=(BASELINE,),
             modes=(AdaptationMode.EXH_DYN,),
