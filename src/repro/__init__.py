@@ -72,7 +72,7 @@ from .obs import (
 from . import variation
 from .variation import VariationModel
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ADAPTIVE_ENVIRONMENTS",

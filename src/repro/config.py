@@ -39,6 +39,13 @@ Campaign-service knobs (see :mod:`repro.serve`)::
     EVAL_REPRO_SERVICE_MAX_JOBS  admission limit on live jobs
     EVAL_REPRO_SERVICE_RETRIES   per-unit retry budget
     EVAL_REPRO_SERVICE_TIMEOUT   per-unit wall-clock budget, seconds
+
+Worker-fleet knobs (see :mod:`repro.serve.fleet`)::
+
+    EVAL_REPRO_WORKER_CONNECT      daemon a fleet worker joins (``--connect``)
+    EVAL_REPRO_HEARTBEAT_INTERVAL  worker heartbeat period, seconds
+    EVAL_REPRO_LEASE_TIMEOUT       lease age before it becomes stealable
+    EVAL_REPRO_STORE_BACKEND       artifact-store backend: local | shared
 """
 
 from __future__ import annotations
@@ -72,6 +79,10 @@ class Settings:
     service_max_jobs: int = 8
     service_retries: int = 1
     service_cell_timeout: Optional[float] = None
+    worker_connect: Optional[str] = None
+    heartbeat_interval: float = 2.0
+    lease_timeout: float = 60.0
+    store_backend: str = "local"
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -84,6 +95,12 @@ class Settings:
             raise ValueError("service_retries must be >= 0")
         if self.service_cell_timeout is not None and self.service_cell_timeout <= 0:
             raise ValueError("service_cell_timeout must be > 0 when set")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0")
+        if self.lease_timeout <= 0:
+            raise ValueError("lease_timeout must be > 0")
+        if self.store_backend not in ("local", "shared"):
+            raise ValueError("store_backend must be 'local' or 'shared'")
 
     # ------------------------------------------------------------------
     # Construction.
@@ -149,6 +166,12 @@ class Settings:
             service_cell_timeout=number(
                 "EVAL_REPRO_SERVICE_TIMEOUT", base.service_cell_timeout
             ),
+            worker_connect=text("EVAL_REPRO_WORKER_CONNECT", base.worker_connect),
+            heartbeat_interval=number(
+                "EVAL_REPRO_HEARTBEAT_INTERVAL", base.heartbeat_interval
+            ),
+            lease_timeout=number("EVAL_REPRO_LEASE_TIMEOUT", base.lease_timeout),
+            store_backend=text("EVAL_REPRO_STORE_BACKEND", base.store_backend),
         )
 
     @classmethod
@@ -190,6 +213,12 @@ class Settings:
             service_cell_timeout=take(
                 "service_timeout", base.service_cell_timeout
             ),
+            worker_connect=take("connect", base.worker_connect),
+            heartbeat_interval=take(
+                "heartbeat_interval", base.heartbeat_interval
+            ),
+            lease_timeout=take("lease_timeout", base.lease_timeout),
+            store_backend=take("store_backend", base.store_backend),
         )
 
     @staticmethod
@@ -285,6 +314,64 @@ class Settings:
                  "as a failure (default: $EVAL_REPRO_SERVICE_TIMEOUT)",
         )
 
+    @staticmethod
+    def add_fleet_arguments(
+        parser: argparse.ArgumentParser,
+        defaults: "Settings",
+        role: str = "daemon",
+    ) -> None:
+        """Register the worker-fleet flags (:mod:`repro.serve.fleet`).
+
+        Both the daemon and the ``worker`` subcommand call this;
+        ``role`` selects the side-specific flags (the daemon owns the
+        liveness policy, the worker owns where it connects).  Both sides
+        take ``--store-backend`` — a fleet sharing one cache directory
+        should run every member with ``shared``.
+        """
+        parser.add_argument(
+            "--store-backend",
+            choices=("local", "shared"),
+            default=defaults.store_backend,
+            help="artifact-store backend: 'local' single-host layout or "
+                 "'shared' with advisory locks + completed-write markers "
+                 "for fleet-shared mounts "
+                 "(default: $EVAL_REPRO_STORE_BACKEND or local)",
+        )
+        if role == "worker":
+            parser.add_argument(
+                "--connect",
+                default=defaults.worker_connect or defaults.service_addr,
+                metavar="HOST:PORT",
+                help="daemon to register with "
+                     "(default: $EVAL_REPRO_WORKER_CONNECT or "
+                     "$EVAL_REPRO_SERVICE)",
+            )
+            return
+        parser.add_argument(
+            "--heartbeat-interval",
+            type=float,
+            default=defaults.heartbeat_interval,
+            metavar="SECONDS",
+            help="fleet worker heartbeat period; a worker missing three "
+                 "beats is declared dead and its leases are re-queued "
+                 "(default: $EVAL_REPRO_HEARTBEAT_INTERVAL or 2)",
+        )
+        parser.add_argument(
+            "--lease-timeout",
+            type=float,
+            default=defaults.lease_timeout,
+            metavar="SECONDS",
+            help="lease age after which an idle worker may steal the "
+                 "unit from its slow holder "
+                 "(default: $EVAL_REPRO_LEASE_TIMEOUT or 60)",
+        )
+        parser.add_argument(
+            "--fleet-only",
+            action="store_true",
+            help="run no in-process unit workers; all compute comes from "
+                 "registered fleet workers",
+        )
+
     # ------------------------------------------------------------------
     # Application.
     # ------------------------------------------------------------------
@@ -293,14 +380,27 @@ class Settings:
         """The cache directory, or ``None`` when caching is disabled."""
         return self.cache_dir if self.cache_enabled else None
 
-    def build_cache(self):
-        """An :class:`~repro.exps.cache.ExperimentCache`, or ``None``."""
+    def build_store(self):
+        """An :class:`~repro.exps.cache.ArtifactStore`, or ``None``.
+
+        The backend is selected by :attr:`store_backend`; the root is
+        :attr:`effective_cache_dir`.
+        """
         root = self.effective_cache_dir
         if root is None:
             return None
+        from .exps.cache import build_store  # lazy: avoids an import cycle
+
+        return build_store(root, self.store_backend)
+
+    def build_cache(self):
+        """An :class:`~repro.exps.cache.ExperimentCache`, or ``None``."""
+        store = self.build_store()
+        if store is None:
+            return None
         from .exps.cache import ExperimentCache  # lazy: avoids an import cycle
 
-        return ExperimentCache(root)
+        return ExperimentCache(store=store)
 
     def configure(self) -> "Settings":
         """Apply the logging settings; returns self for chaining."""

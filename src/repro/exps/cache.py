@@ -22,7 +22,15 @@ environment's capability set.  Changing any of them (e.g. a recalibrated
 served — invalidation is free and the cache directory can be shared by
 concurrent processes (writes go through a temp file + atomic rename).
 
-Layout under the cache root::
+Storage is pluggable: :class:`ExperimentCache` serialises artifacts and
+delegates the byte-level ``get``/``put``/``exists``/``delete`` to an
+:class:`ArtifactStore` backend.  :class:`LocalDirStore` keeps the
+original single-host directory layout; :class:`SharedDirStore` adds
+advisory locks and completed-write markers so one directory can be
+mounted by a whole fleet of worker processes/hosts (see
+:mod:`repro.serve.fleet`).
+
+Layout under a directory-backed store's root::
 
     measurements/<key>.npz   arrays + JSON metadata
     banks/<key>.npz          repro.ml.persistence archives
@@ -32,17 +40,26 @@ Layout under the cache root::
 
 from __future__ import annotations
 
+import abc
+import contextlib
 import dataclasses
 import hashlib
+import io
 import json
 import logging
 import os
 import tempfile
+import warnings
 from enum import Enum
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, Optional, Sequence, Union
 
 import numpy as np
+
+try:  # advisory file locks: POSIX only, and optional even there
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from .. import obs
 from ..calibration import Calibration
@@ -189,6 +206,199 @@ def summary_key(
 
 
 # ----------------------------------------------------------------------
+# Storage backends: the ArtifactStore API.
+# ----------------------------------------------------------------------
+class ArtifactStore(abc.ABC):
+    """Byte-level artifact storage behind :class:`ExperimentCache`.
+
+    The contract (see DESIGN.md §12 for the fleet-facing guarantees):
+
+    * Artifacts are addressed by ``(kind, key, suffix)`` — ``kind`` is a
+      short category name (``"summaries"``, ``"banks"``, ...), ``key`` a
+      content-addressed hex digest, ``suffix`` the format extension.
+      Keys are content-addressed, so a ``put`` for an existing address
+      always carries semantically identical bytes: last-writer-wins is a
+      safe conflict rule.
+    * ``put`` must be *atomic and complete*: a concurrent ``get`` sees
+      either nothing or the full new payload, never a torn write.
+    * ``get`` returns ``None`` for anything that is not a completed
+      artifact (absent, or still being written by another process).
+    * ``is_complete`` reports whether a present artifact's write has
+      finished; :meth:`ExperimentCache._load_guarded` only deletes a
+      corrupt artifact when its write is complete, so two processes
+      sharing a store never clobber each other mid-write.
+    * ``delete`` is idempotent and returns whether anything was removed.
+    """
+
+    @abc.abstractmethod
+    def get(self, kind: str, key: str, suffix: str) -> Optional[bytes]:
+        """The artifact's bytes, or ``None`` if absent/incomplete."""
+
+    @abc.abstractmethod
+    def put(self, kind: str, key: str, suffix: str, data: bytes) -> None:
+        """Store ``data`` atomically under ``(kind, key, suffix)``."""
+
+    @abc.abstractmethod
+    def exists(self, kind: str, key: str, suffix: str) -> bool:
+        """Whether any artifact (even an in-flight one) is present."""
+
+    @abc.abstractmethod
+    def delete(self, kind: str, key: str, suffix: str) -> bool:
+        """Remove the artifact; ``False`` if nothing was there."""
+
+    def is_complete(self, kind: str, key: str, suffix: str) -> bool:
+        """Whether the artifact's write has finished.
+
+        Backends whose writes are atomic-by-construction (a visible file
+        is always a finished file) inherit this default: present means
+        complete.
+        """
+        return self.exists(kind, key, suffix)
+
+
+class LocalDirStore(ArtifactStore):
+    """The original single-host directory layout.
+
+    Writes go through a sibling temp file and ``os.replace``, so
+    concurrent *processes on one host* can share the directory: a reader
+    sees either the old bytes or the new ones.  Every visible file is a
+    completed write, which is why :meth:`is_complete` stays the default.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        for sub in ("measurements", "banks", "summaries", "factors"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({str(self.root)!r})"
+
+    def path_for(self, kind: str, key: str, suffix: str) -> Path:
+        """Where ``(kind, key, suffix)`` lives on disk."""
+        return self.root / kind / f"{key}{suffix}"
+
+    def get(self, kind: str, key: str, suffix: str) -> Optional[bytes]:
+        try:
+            return self.path_for(kind, key, suffix).read_bytes()
+        except (FileNotFoundError, IsADirectoryError):
+            return None
+
+    def put(self, kind: str, key: str, suffix: str, data: bytes) -> None:
+        final = self.path_for(kind, key, suffix)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(final.parent), prefix=".tmp-", suffix=suffix
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, final)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def exists(self, kind: str, key: str, suffix: str) -> bool:
+        return self.path_for(kind, key, suffix).exists()
+
+    def delete(self, kind: str, key: str, suffix: str) -> bool:
+        try:
+            self.path_for(kind, key, suffix).unlink()
+            return True
+        except OSError:
+            return False
+
+
+class SharedDirStore(LocalDirStore):
+    """A directory store safe for multi-host (NFS-style) shared mounts.
+
+    Two additions over :class:`LocalDirStore`:
+
+    * **Completed-write markers** — after the data file is renamed into
+      place, an empty ``<name>.done`` marker is created.  ``get`` only
+      serves marked artifacts, and ``is_complete`` reports the marker,
+      so a reader on another host never consumes (or deletes) a write
+      that has not finished — rename atomicity and visibility ordering
+      are weaker across network mounts than on a local disk.
+    * **Advisory locks** — ``put`` and ``delete`` for one address are
+      serialised through a ``flock`` on a sibling ``.lock`` file (a
+      no-op where ``fcntl`` is unavailable), so a delete can never
+      interleave with a half-finished rewrite of the same artifact.
+
+    A crash between the data rename and the marker leaves an unmarked
+    file: invisible to readers, and simply overwritten (marker included)
+    by the next writer of that key — content addressing makes the retry
+    byte-identical.
+    """
+
+    _MARKER = ".done"
+    _LOCK = ".lock"
+
+    @contextlib.contextmanager
+    def _locked(self, final: Path) -> Iterator[None]:
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = final.with_name(final.name + self._LOCK)
+        with open(lock_path, "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def _marker_for(self, final: Path) -> Path:
+        return final.with_name(final.name + self._MARKER)
+
+    def get(self, kind: str, key: str, suffix: str) -> Optional[bytes]:
+        final = self.path_for(kind, key, suffix)
+        if not self._marker_for(final).exists():
+            return None
+        return super().get(kind, key, suffix)
+
+    def put(self, kind: str, key: str, suffix: str, data: bytes) -> None:
+        final = self.path_for(kind, key, suffix)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        with self._locked(final):
+            super().put(kind, key, suffix, data)
+            self._marker_for(final).touch()
+
+    def is_complete(self, kind: str, key: str, suffix: str) -> bool:
+        return self._marker_for(self.path_for(kind, key, suffix)).exists()
+
+    def delete(self, kind: str, key: str, suffix: str) -> bool:
+        final = self.path_for(kind, key, suffix)
+        with self._locked(final):
+            # Marker first: the artifact disappears for readers before
+            # the data file does, never the other way around.
+            try:
+                self._marker_for(final).unlink()
+            except OSError:
+                pass
+            return super().delete(kind, key, suffix)
+
+
+def build_store(root: Union[str, Path], backend: str = "local") -> ArtifactStore:
+    """Construct a directory-backed store by backend name.
+
+    ``"local"`` is the single-host layout; ``"shared"`` adds the
+    marker/lock discipline for fleet-shared mounts.  This is the factory
+    behind ``Settings.store_backend``.
+    """
+    backends = {"local": LocalDirStore, "shared": SharedDirStore}
+    try:
+        cls = backends[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown store backend {backend!r} "
+            f"(choose from {sorted(backends)})"
+        ) from None
+    return cls(root)
+
+
+# ----------------------------------------------------------------------
 # The cache itself.
 # ----------------------------------------------------------------------
 @dataclasses.dataclass
@@ -216,71 +426,112 @@ class CacheStats:
         obs.inc(f"cache.{kind}.misses", 0.0 if hit else 1.0)
 
 
-class ExperimentCache:
-    """Filesystem-backed store for measurements, banks and summaries."""
+#: stat kind -> (store kind, format suffix)
+_ARTIFACT_KINDS = {
+    "measurement": ("measurements", ".npz"),
+    "bank": ("banks", ".npz"),
+    "summary": ("summaries", ".json"),
+    "factor": ("factors", ".npz"),
+}
 
-    def __init__(self, root: Union[str, Path]):
-        self.root = Path(root)
+
+class ExperimentCache:
+    """Artifact cache for measurements, banks, summaries and factors.
+
+    Serialisation lives here; byte storage is delegated to an
+    :class:`ArtifactStore` backend.  ``ExperimentCache(root)`` keeps the
+    historical single-argument form (a :class:`LocalDirStore` at that
+    directory); pass ``store=`` for any other backend.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        *,
+        store: Optional[ArtifactStore] = None,
+    ):
+        if (root is None) == (store is None):
+            raise ValueError("pass exactly one of root or store")
+        self.store = store if store is not None else LocalDirStore(root)
+        #: Directory root for dir-backed stores (``None`` otherwise);
+        #: kept for callers that co-locate reports next to the cache.
+        self.root = getattr(self.store, "root", None)
         self.stats = CacheStats()
-        for sub in ("measurements", "banks", "summaries", "factors"):
-            (self.root / sub).mkdir(parents=True, exist_ok=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ExperimentCache({str(self.root)!r})"
+        return f"ExperimentCache({self.store!r})"
 
     # -- paths ----------------------------------------------------------
     def _path(self, kind: str, key: str, suffix: str) -> Path:
-        return self.root / kind / f"{key}{suffix}"
+        """Deprecated: artifacts are not guaranteed to live on a path.
 
-    @staticmethod
-    def _atomic_replace(write, final: Path) -> None:
-        """Write via a sibling temp file, then atomically rename.
-
-        The temp file keeps the final suffix — ``np.savez`` silently
-        appends ``.npz`` to any other name, which would leave the real
-        temp file empty.
+        Kept as a shim for one release so external callers keep working
+        against directory-backed stores; anything else has no paths to
+        give out.  Go through the :class:`ArtifactStore` API instead.
         """
-        fd, tmp = tempfile.mkstemp(
-            dir=str(final.parent), prefix=".tmp-", suffix=final.suffix
+        warnings.warn(
+            "ExperimentCache._path is deprecated; use the ArtifactStore "
+            "get/put/exists/delete API",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        os.close(fd)
-        try:
-            write(Path(tmp))
-            os.replace(tmp, final)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        path_for = getattr(self.store, "path_for", None)
+        if path_for is None:
+            raise TypeError(
+                f"{type(self.store).__name__} is not directory-backed; "
+                "there is no filesystem path for artifacts"
+            )
+        return path_for(kind, key, suffix)
 
-    def _note_write(self, kind: str, path: Path, existed: bool) -> None:
+    # -- plumbing --------------------------------------------------------
+    def _note_write(self, kind: str, nbytes: int, existed: bool) -> None:
         """Account one artifact write (bytes; overwrites = invalidations)."""
         obs.inc("cache.invalidations", 1.0 if existed else 0.0)
-        obs.inc("cache.bytes_written", float(path.stat().st_size))
-        log.debug("wrote %s artifact %s", kind, path.name)
+        obs.inc("cache.bytes_written", float(nbytes))
+        log.debug("wrote %s artifact (%d bytes)", kind, nbytes)
 
-    def _load_guarded(self, kind: str, path: Path, parse):
-        """Load one artifact; a corrupt/truncated file is a miss.
+    def _save(self, kind: str, key: str, data: bytes) -> None:
+        store_kind, suffix = _ARTIFACT_KINDS[kind]
+        existed = self.store.exists(store_kind, key, suffix)
+        self.store.put(store_kind, key, suffix, data)
+        self._note_write(kind, len(data), existed)
 
-        A crash mid-write can't leave a torn file (writes are atomic), but
-        disks fill, copies truncate, and formats drift — any parse failure
-        deletes the bad artifact, bumps ``cache.corrupt``, and reports a
-        miss so the caller simply recomputes instead of dying.
+    def _load_guarded(self, kind: str, key: str, parse):
+        """Load one artifact; corrupt *completed* artifacts are dropped.
+
+        Any parse failure is a miss, but deletion is conditional on the
+        store's completed-write marker: a torn/garbage artifact whose
+        write *finished* (disks fill, copies truncate, formats drift) is
+        deleted and counted in ``cache.corrupt`` so the slot heals,
+        while an artifact still being written by another worker sharing
+        the store is left alone (counted in ``cache.pending_writes``) —
+        deleting it would clobber the concurrent writer and lose its
+        compute.
         """
-        if not path.exists():
+        store_kind, suffix = _ARTIFACT_KINDS[kind]
+        data = self.store.get(store_kind, key, suffix)
+        if data is None:
+            if self.store.exists(store_kind, key, suffix):
+                # Present but not yet complete: another worker is mid-put.
+                obs.inc("cache.pending_writes")
             self.stats.record(kind, hit=False)
             return None
         try:
-            value = parse(path)
+            value = parse(data)
         except Exception as exc:
-            log.warning(
-                "corrupt %s artifact %s (%s); dropping it and recomputing",
-                kind, path.name, exc,
-            )
-            obs.inc("cache.corrupt")
-            try:
-                path.unlink()
-            except OSError:  # pragma: no cover - racing deleters
-                pass
+            if self.store.is_complete(store_kind, key, suffix):
+                log.warning(
+                    "corrupt %s artifact %s (%s); dropping it and recomputing",
+                    kind, key, exc,
+                )
+                obs.inc("cache.corrupt")
+                self.store.delete(store_kind, key, suffix)
+            else:
+                log.debug(
+                    "%s artifact %s unreadable but write still in flight; "
+                    "leaving it (%s)", kind, key, exc,
+                )
+                obs.inc("cache.pending_writes")
             self.stats.record(kind, hit=False)
             return None
         self.stats.record(kind, hit=True)
@@ -290,8 +541,8 @@ class ExperimentCache:
     def load_measurement(self, key: str) -> Optional[WorkloadMeasurement]:
         """Return a cached measurement, or ``None`` on a miss."""
 
-        def parse(path: Path) -> WorkloadMeasurement:
-            with np.load(path) as archive:
+        def parse(data: bytes) -> WorkloadMeasurement:
+            with np.load(io.BytesIO(data)) as archive:
                 meta = json.loads(bytes(archive["__meta__"]).decode())
                 return WorkloadMeasurement(
                     activity=archive["activity"],
@@ -299,62 +550,48 @@ class ExperimentCache:
                     **meta,
                 )
 
-        return self._load_guarded(
-            "measurement", self._path("measurements", key, ".npz"), parse
-        )
+        return self._load_guarded("measurement", key, parse)
 
     def save_measurement(self, key: str, meas: WorkloadMeasurement) -> None:
         """Store one measurement (arrays binary, scalars as JSON)."""
         meta = {name: getattr(meas, name) for name in _MEAS_META_FIELDS}
-        path = self._path("measurements", key, ".npz")
-        existed = path.exists()
-        self._atomic_replace(
-            lambda tmp: np.savez(
-                tmp,
-                activity=meas.activity,
-                rho=meas.rho,
-                __meta__=np.frombuffer(
-                    json.dumps(meta).encode(), dtype=np.uint8
-                ),
-            ),
-            path,
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            activity=meas.activity,
+            rho=meas.rho,
+            __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
         )
-        self._note_write("measurement", path, existed)
+        self._save("measurement", key, buffer.getvalue())
 
     # -- controller banks -----------------------------------------------
     def load_bank(self, key: str) -> Optional[ControllerBank]:
         """Return a cached trained bank, or ``None`` on a miss."""
         return self._load_guarded(
-            "bank", self._path("banks", key, ".npz"), load_bank
+            "bank", key, lambda data: load_bank(io.BytesIO(data))
         )
 
     def save_bank(self, key: str, bank: ControllerBank) -> None:
         """Store one trained bank through :mod:`repro.ml.persistence`."""
-        path = self._path("banks", key, ".npz")
-        existed = path.exists()
-        self._atomic_replace(lambda tmp: save_bank(bank, tmp), path)
-        self._note_write("bank", path, existed)
+        buffer = io.BytesIO()
+        save_bank(bank, buffer)
+        self._save("bank", key, buffer.getvalue())
 
     # -- correlation factors ---------------------------------------------
     def load_factor(self, key: str) -> Optional[np.ndarray]:
         """Return a cached correlation factor, or ``None`` on a miss."""
 
-        def parse(path: Path) -> np.ndarray:
-            with np.load(path) as archive:
+        def parse(data: bytes) -> np.ndarray:
+            with np.load(io.BytesIO(data)) as archive:
                 return archive["factor"]
 
-        return self._load_guarded(
-            "factor", self._path("factors", key, ".npz"), parse
-        )
+        return self._load_guarded("factor", key, parse)
 
     def save_factor(self, key: str, factor: np.ndarray) -> None:
         """Store one correlation factor as a single-array archive."""
-        path = self._path("factors", key, ".npz")
-        existed = path.exists()
-        self._atomic_replace(
-            lambda tmp: np.savez(tmp, factor=np.asarray(factor)), path
-        )
-        self._note_write("factor", path, existed)
+        buffer = io.BytesIO()
+        np.savez(buffer, factor=np.asarray(factor))
+        self._save("factor", key, buffer.getvalue())
 
     # -- suite summaries -------------------------------------------------
     def load_summary(self, key: str):
@@ -362,18 +599,12 @@ class ExperimentCache:
         from .runner import SuiteSummary  # runner imports this module
 
         return self._load_guarded(
-            "summary",
-            self._path("summaries", key, ".json"),
-            lambda path: SuiteSummary.from_json(path.read_text()),
+            "summary", key, lambda data: SuiteSummary.from_json(data.decode())
         )
 
     def save_summary(self, key: str, summary) -> None:
         """Store one suite summary in the shared JSON wire format."""
-        path = self._path("summaries", key, ".json")
-        text = summary.to_json()
-        existed = path.exists()
-        self._atomic_replace(lambda tmp: tmp.write_text(text), path)
-        self._note_write("summary", path, existed)
+        self._save("summary", key, summary.to_json().encode())
 
 
 class FactorStore:
@@ -383,13 +614,18 @@ class FactorStore:
     module; instead it accepts any object with ``load(key_data)`` /
     ``save(key_data, factor)``.  This adapter closes the loop: it turns
     the physics-level key tuple into a content-addressed cache key and
-    delegates to an :class:`ExperimentCache`.  Install it with::
+    delegates to an :class:`ExperimentCache` — or, given a bare
+    :class:`ArtifactStore`, routes through the same backend API the rest
+    of the cache uses (fleet workers hand their shared store straight
+    in).  Install it with::
 
         from repro import variation
         variation.set_store(FactorStore(cache))
     """
 
-    def __init__(self, cache: ExperimentCache):
+    def __init__(self, cache: Union[ExperimentCache, ArtifactStore]):
+        if isinstance(cache, ArtifactStore):
+            cache = ExperimentCache(store=cache)
         self.cache = cache
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -37,9 +37,16 @@ def _decode_key(token: str) -> "tuple[str, FCKey]":
     return kind, (int(index), variant)
 
 
-def save_bank(bank: ControllerBank, path: Union[str, Path]) -> Path:
-    """Serialise a trained bank to a single ``.npz`` archive."""
-    path = Path(path)
+def save_bank(bank: ControllerBank, path) -> Union[Path, None]:
+    """Serialise a trained bank to a single ``.npz`` archive.
+
+    ``path`` may be a filesystem path or any writable binary file-like
+    object (the artifact-store backends serialise through in-memory
+    buffers); file-likes return ``None`` instead of a path.
+    """
+    file_like = hasattr(path, "write")
+    if not file_like:
+        path = Path(path)
     arrays: Dict[str, np.ndarray] = {}
     for kind, table in (
         ("freq", bank.freq_fcs),
@@ -80,12 +87,18 @@ def save_bank(bank: ControllerBank, path: Union[str, Path]) -> Path:
     arrays["__vdd_levels__"] = spec.vdd_levels
     arrays["__vbb_levels__"] = spec.vbb_levels
     np.savez_compressed(path, **arrays)
+    if file_like:
+        return None
     return path if path.suffix == ".npz" else path.with_suffix(".npz")
 
 
-def load_bank(path: Union[str, Path]) -> ControllerBank:
-    """Reconstruct a :class:`ControllerBank` from :func:`save_bank` output."""
-    with np.load(Path(path)) as archive:
+def load_bank(path) -> ControllerBank:
+    """Reconstruct a :class:`ControllerBank` from :func:`save_bank` output.
+
+    Accepts a filesystem path or a readable binary file-like object.
+    """
+    source = path if hasattr(path, "read") else Path(path)
+    with np.load(source) as archive:
         meta = json.loads(bytes(archive["__meta__"]).decode())
         spec = OptimizationSpec(
             vdd_levels=archive["__vdd_levels__"],

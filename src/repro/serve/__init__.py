@@ -22,18 +22,28 @@ from .batch import run_ladder_remote
 from .client import Client
 from .coalesce import CellTask, InFlightRegistry, UnitTask, build_cell
 from .daemon import DEFAULT_ADDRESS, ServiceClient, ServiceDaemon, parse_address
+from .fleet import FleetError, FleetRegistry, Lease, UnknownWorkerError, WorkerInfo
 from .jobs import CellFailure, Job, JobState
 from .protocol import (
+    FLEET_MIN_VERSION,
     PROTOCOL_VERSION,
     SUPPORTED_PROTOCOL_VERSIONS,
+    LeasedUnit,
     ProtocolError,
     ProtocolVersionError,
     check_version,
+    rows_from_wire,
+    rows_to_wire,
+    runner_context_from_wire,
+    runner_context_to_wire,
     spec_from_wire,
     spec_to_wire,
     summaries_from_wire,
     summaries_to_wire,
+    unit_from_wire,
+    unit_to_wire,
 )
+from .worker import FleetWorker
 from .scheduler import CellScheduler, RetryPolicy, UnitTimeoutError
 from .service import (
     CampaignService,
@@ -51,11 +61,17 @@ __all__ = [
     "CellTask",
     "Client",
     "DEFAULT_ADDRESS",
+    "FLEET_MIN_VERSION",
+    "FleetError",
+    "FleetRegistry",
+    "FleetWorker",
     "InFlightRegistry",
     "Job",
     "JobCancelledError",
     "JobFailedError",
     "JobState",
+    "Lease",
+    "LeasedUnit",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ProtocolVersionError",
@@ -68,12 +84,20 @@ __all__ = [
     "UnitTask",
     "UnitTimeoutError",
     "UnknownJobError",
+    "UnknownWorkerError",
+    "WorkerInfo",
     "build_cell",
     "check_version",
     "parse_address",
+    "rows_from_wire",
+    "rows_to_wire",
     "run_ladder_remote",
+    "runner_context_from_wire",
+    "runner_context_to_wire",
     "spec_from_wire",
     "spec_to_wire",
     "summaries_from_wire",
     "summaries_to_wire",
+    "unit_from_wire",
+    "unit_to_wire",
 ]

@@ -89,8 +89,8 @@ class CellScheduler:
                 failures are logged and ignored: they only cost the lazy
                 initialisation back.
         """
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
         self._execute = execute
         self._workers = workers
         self._policy = policy
@@ -132,6 +132,38 @@ class CellScheduler:
 
     def depth(self) -> int:
         return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Fleet integration: lease-style access to the same queue.
+    # ------------------------------------------------------------------
+    def take(self) -> Optional[tuple]:
+        """Pop the highest-priority task without blocking.
+
+        Returns ``(neg_priority, item)`` — the stored (negated) priority
+        rides along so :meth:`requeue` can reinsert the task in its
+        original band — or ``None`` when the queue is empty.  Sentinels
+        are put straight back: stopping the in-process pool must not eat
+        the fleet's work, and vice versa.
+        """
+        try:
+            neg_priority, seq, item = self._queue.get_nowait()
+        except queue.Empty:
+            return None
+        if item is _SENTINEL:
+            self._queue.put((neg_priority, seq, item))
+            return None
+        obs.set_gauge("serve.queue_depth", self._queue.qsize())
+        return neg_priority, item
+
+    def requeue(self, neg_priority: int, item: Any) -> None:
+        """Reinsert a task taken with :meth:`take` (lease revoked/failed).
+
+        A fresh sequence number puts it behind live submissions of the
+        same priority band — re-queued work should not overtake work
+        that never failed.
+        """
+        self._queue.put((neg_priority, next(self._seq), item))
+        obs.set_gauge("serve.queue_depth", self._queue.qsize())
 
     # ------------------------------------------------------------------
     # Worker loop + supervision.

@@ -35,6 +35,7 @@ from ..exps.cache import ExperimentCache, FactorStore, summary_key
 from ..exps.engine import RunResult, RunSpec, run_unit_guarded
 from ..exps.runner import ExperimentRunner, summarise
 from .coalesce import NOVAR_CHIP, CellTask, InFlightRegistry, UnitTask, build_cell
+from .fleet import FleetRegistry
 from .jobs import LIVE_STATES, CellFailure, Job, JobState
 from .scheduler import CellScheduler, RetryPolicy
 
@@ -118,6 +119,21 @@ class CampaignService:
             claim=self._claim_unit,
             warmup=self._warm_physics,
         )
+        # Remote workers lease from the same queue the in-process pool
+        # drains; ``workers=0`` (--fleet-only) leaves all compute to the
+        # fleet.  The registry only touches the service through these
+        # callbacks and always takes its own lock first (see
+        # repro.serve.fleet lock-ordering note).
+        self.fleet = FleetRegistry(
+            take=self._scheduler.take,
+            requeue=self._scheduler.requeue,
+            claim=self._claim_unit,
+            deliver=self._on_unit_done,
+            fail=self._on_unit_failed,
+            heartbeat_interval=settings.heartbeat_interval,
+            lease_timeout=settings.lease_timeout,
+            retries=policy.retries,
+        )
         self._lock = threading.RLock()
         self._jobs: Dict[str, Job] = {}
         self._job_cells: Dict[str, List[CellTask]] = {}
@@ -133,12 +149,14 @@ class CampaignService:
         with self._lock:
             if not self._started:
                 self._scheduler.start()
+                self.fleet.start()
                 self._started = True
         return self
 
     def close(self) -> None:
         with self._lock:
             self._started = False
+        self.fleet.stop()
         self._scheduler.stop()
 
     def __enter__(self) -> "CampaignService":
@@ -240,6 +258,9 @@ class CampaignService:
 
     def stats(self) -> Dict[str, Any]:
         """A service-level snapshot (the daemon's ``ping`` payload)."""
+        # Fleet stats are collected before taking the service lock: the
+        # registry lock must never be acquired under the service lock.
+        fleet = self.fleet.stats()
         with self._lock:
             states = {state.value: 0 for state in JobState}
             for job in self._jobs.values():
@@ -249,7 +270,33 @@ class CampaignService:
                 "queue_depth": self._scheduler.depth(),
                 "inflight_cells": len(self._registry),
                 "max_jobs": self.max_jobs,
+                "fleet": fleet,
             }
+
+    # ------------------------------------------------------------------
+    # Fleet-facing API (the daemon's ``fleet.*`` ops land here).
+    # ------------------------------------------------------------------
+    def fleet_register(self, meta: Optional[Dict[str, Any]] = None) -> str:
+        """Admit a remote worker; starts the service so leases can flow
+        before the first submission arrives."""
+        self.start()
+        return self.fleet.register(meta)
+
+    def fleet_lease(self, worker_id: str, max_units: int = 1) -> List[Any]:
+        """Lease up to ``max_units`` tasks; returns ``(cell, unit)``
+        item pairs (the daemon encodes them for the wire)."""
+        return [
+            lease.item for lease in self.fleet.lease(worker_id, max_units)
+        ]
+
+    def fleet_heartbeat(self, worker_id: str) -> None:
+        self.fleet.heartbeat(worker_id)
+
+    def fleet_complete(self, worker_id: str, unit_key: str, rows) -> bool:
+        return self.fleet.complete(worker_id, unit_key, rows)
+
+    def fleet_fail(self, worker_id: str, unit_key: str, message: str) -> bool:
+        return self.fleet.fail(worker_id, unit_key, message)
 
     # ------------------------------------------------------------------
     # Admission: cache check, coalescing, decomposition.
@@ -318,9 +365,15 @@ class CampaignService:
         variation.get_factor(chip.grid, chip.params.phi)
 
     def _claim_unit(self, item: Tuple[CellTask, UnitTask]) -> bool:
-        cell, _unit = item
+        cell, unit = item
         with self._lock:
             if not cell.live:
+                return False
+            if unit.rows is not None:
+                # Already delivered — a fleet requeue/steal left a stale
+                # queue copy behind.  Dropping it here is what keeps
+                # "every unit computed exactly once" true under worker
+                # death and work stealing.
                 return False
             cell.started = True
             for job in cell.followers:
@@ -347,6 +400,14 @@ class CampaignService:
         cell, unit = item
         with self._lock:
             if not cell.live:
+                return
+            if unit.rows is not None:
+                # Idempotent delivery: a duplicate lease (steal) or a
+                # late completion from a presumed-dead worker already
+                # delivered this unit.  Content-addressed keys make the
+                # two row lists identical, so dropping the second copy
+                # loses nothing.
+                obs.inc("serve.units_duplicate")
                 return
             unit.rows = rows
             unit.attempts = attempts

@@ -463,7 +463,8 @@ class TestProtocolVersion:
     def test_check_version_accepts_supported_majors(self):
         assert check_version({"op": "ping"}) == 1  # pre-handshake client
         assert check_version({"op": "ping", "v": 1}) == 1
-        assert check_version({"op": "ping", "v": PROTOCOL_VERSION}) == 2
+        assert check_version({"op": "ping", "v": 2}) == 2
+        assert check_version({"op": "ping", "v": PROTOCOL_VERSION}) == 3
         assert PROTOCOL_VERSION in SUPPORTED_PROTOCOL_VERSIONS
 
     @pytest.mark.parametrize("bad", [99, 0, -1, "2", 2.0, True, None])
