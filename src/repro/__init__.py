@@ -18,6 +18,9 @@ Layer map (see DESIGN.md for the full inventory):
 * :mod:`repro.exps` — one experiment module per paper table/figure.
 * :mod:`repro.exps.dse` — declarative design-space sweeps: SweepSpec →
   campaign service → Pareto/sensitivity analytics.
+* :mod:`repro.workloads` — workload sources: trace ingestion,
+  parameterized generation, adversarial evolution
+  (``python -m repro.workloads``).
 * :mod:`repro.obs` — metrics registry, span timers, JSONL event sink.
 * :mod:`repro.serve` — the async campaign service (coalescing, retries,
   JSON-lines daemon; ``python -m repro.serve``).
@@ -62,6 +65,14 @@ from .exps.engine import RunResult, RunSpec
 from .exps.runner import ExperimentRunner, RunnerConfig
 from .microarch import measure_workload, spec2000_like_suite
 from .mitigation import TechniqueState, area_budget
+from .workloads import (
+    EvolveConfig,
+    WorkloadFamily,
+    evolve,
+    family_by_name,
+    family_names,
+    ingest_trace,
+)
 from .obs import (
     EventSink,
     MetricsRegistry,
@@ -72,7 +83,7 @@ from .obs import (
 from . import variation
 from .variation import VariationModel
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ADAPTIVE_ENVIRONMENTS",
@@ -83,6 +94,7 @@ __all__ = [
     "DEFAULT_CALIBRATION",
     "Environment",
     "EventSink",
+    "EvolveConfig",
     "ExperimentRunner",
     "MetricsRegistry",
     "NOVAR",
@@ -96,12 +108,17 @@ __all__ = [
     "TS_ASV_Q_FU",
     "TechniqueState",
     "VariationModel",
+    "WorkloadFamily",
     "area_budget",
     "build_chip_cores",
     "build_core",
     "build_novar_core",
     "configure_logging",
     "default_floorplan",
+    "evolve",
+    "family_by_name",
+    "family_names",
+    "ingest_trace",
     "measure_workload",
     "metrics_registry",
     "obs",

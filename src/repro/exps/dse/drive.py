@@ -68,7 +68,7 @@ class RemoteSweepError(ValueError):
             f"a remote campaign daemon: its population scale, seed and "
             f"calibration are fixed server-side policy.  Run the sweep "
             f"locally (drop --service) or restrict the spec to the cell "
-            f"tier (environment/mode/workloads)."
+            f"tier (environment/mode/workloads/workload_family)."
         )
 
 
@@ -139,6 +139,18 @@ def _point_runspec(point: SweepPoint) -> RunSpec:
                 f"unknown workloads {missing} (suite: {sorted(pool)})"
             )
         workloads = tuple(pool[n] for n in names)
+    family_ref = params.get("workload_family")
+    if family_ref is not None:
+        if workloads is not None:
+            raise ValueError(
+                f"point {point.point_id} binds both 'workloads' and "
+                f"'workload_family'"
+            )
+        # Deferred: repro.workloads imports this module for its
+        # error-fraction objective.
+        from ...workloads.families import generate_family_ref
+
+        workloads = generate_family_ref(family_ref)
     return RunSpec(environments=(env,), modes=(mode,), workloads=workloads)
 
 

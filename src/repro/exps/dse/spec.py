@@ -16,10 +16,14 @@ range, geometric/log grid) and two compositions:
 Parameters split into two tiers, mirroring what the campaign service can
 content-address remotely:
 
-* **cell tier** (``environment``, ``mode``, ``workloads``) — dimensions
-  of one runner's (environment, mode) grid; these cross the JSON-lines
-  wire by name and coalesce/dedupe through
-  :func:`~repro.exps.cache.summary_key`.
+* **cell tier** (``environment``, ``mode``, ``workloads``,
+  ``workload_family``) — dimensions of one runner's (environment, mode)
+  grid; these cross the JSON-lines wire (suite workloads by name,
+  generated family members inline) and coalesce/dedupe through
+  :func:`~repro.exps.cache.summary_key`.  A ``workload_family`` value is
+  a ``name[:size[:seed]]`` reference (see :mod:`repro.workloads.
+  families`) expanded to its deterministic members at drive time; it is
+  mutually exclusive with ``workloads``.
 * **runner tier** (``chips``, ``cores``, ``seed``, ``n_instructions``,
   ``fc_examples``, ``phi``, ``pe_max``) — knobs baked into a
   :class:`~repro.exps.runner.RunnerConfig` or
@@ -53,8 +57,9 @@ from ...core.environments import AdaptationMode, by_name
 from ..cache import stable_hash
 
 #: Parameters resolved per (environment, mode) cell — submittable to a
-#: remote campaign daemon by name.
-CELL_PARAMS = ("environment", "mode", "workloads")
+#: remote campaign daemon (suite workloads by name; a ``workload_family``
+#: expands to generated profiles that cross the wire inline).
+CELL_PARAMS = ("environment", "mode", "workloads", "workload_family")
 
 #: Parameters baked into the runner (scale, seed, variation severity) or
 #: the calibration (error-rate budget) — local sweeps only.
@@ -92,6 +97,20 @@ def _normalise_value(param: str, value: Any) -> Any:
                 f"workloads axis values must be lists of names, got {value!r}"
             )
         return tuple(value)
+    if param == "workload_family":
+        if not isinstance(value, str):
+            raise ValueError(
+                f"workload_family axis values must be "
+                f"'name[:size[:seed]]' references, got {value!r}"
+            )
+        # Canonicalise (fill in default size/seed) so equal families get
+        # equal point ids; raises on unknown names / malformed refs.
+        from ...workloads.families import canonical_family_ref
+
+        try:
+            return canonical_family_ref(value)
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"bad workload_family value {value!r}: {exc}")
     if param in ("chips", "cores", "seed", "n_instructions", "fc_examples"):
         if isinstance(value, bool) or not isinstance(value, int):
             raise ValueError(f"{param} values must be integers, got {value!r}")
@@ -296,6 +315,10 @@ class SweepSpec:
                 seen.add(param)
         if "environment" not in seen:
             raise ValueError("sweep binds no 'environment' (axis or base)")
+        if "workloads" in seen and "workload_family" in seen:
+            raise ValueError(
+                "bind either 'workloads' or 'workload_family', not both"
+            )
 
     # -- expansion -------------------------------------------------------
     def param_names(self) -> List[str]:

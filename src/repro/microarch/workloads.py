@@ -15,13 +15,24 @@ relevant structure.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import math
 from dataclasses import dataclass, replace
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Mapping, Tuple
 
 from .isa import Uop
 
 INT = "int"
 FP = "fp"
+
+#: Weight / mix sums are accepted within this tolerance of 1.0.  Wide
+#: enough for measured (ingested) fractions that went through a float
+#: renormalisation, tight enough that a genuinely malformed profile is
+#: rejected here instead of surfacing as numeric drift downstream.
+SUM_TOLERANCE = 1e-6
+
+_SCALE_FIELDS = ("l2_scale", "branch_scale", "ilp_scale", "fp_scale")
 
 
 @dataclass(frozen=True)
@@ -42,7 +53,44 @@ class PhaseSpec:
 
     def __post_init__(self) -> None:
         if not 0.0 < self.weight <= 1.0:
-            raise ValueError("phase weight must be in (0, 1]")
+            raise ValueError(
+                f"phase {self.name!r}: weight must be in (0, 1], "
+                f"got {self.weight}"
+            )
+        for field_name in _SCALE_FIELDS:
+            scale = getattr(self, field_name)
+            if not math.isfinite(scale) or scale < 0.0:
+                raise ValueError(
+                    f"phase {self.name!r}: {field_name} must be a finite "
+                    f"non-negative number, got {scale}"
+                )
+
+    # -- wire ------------------------------------------------------------
+    def to_wire(self) -> Dict[str, Any]:
+        """The canonical JSON document for this phase (floats by repr)."""
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "l2_scale": self.l2_scale,
+            "branch_scale": self.branch_scale,
+            "ilp_scale": self.ilp_scale,
+            "fp_scale": self.fp_scale,
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Mapping[str, Any]) -> "PhaseSpec":
+        """Rebuild a phase from :meth:`to_wire` (bit-identical floats)."""
+        try:
+            return cls(
+                name=str(doc["name"]),
+                weight=float(doc["weight"]),
+                l2_scale=float(doc.get("l2_scale", 1.0)),
+                branch_scale=float(doc.get("branch_scale", 1.0)),
+                ilp_scale=float(doc.get("ilp_scale", 1.0)),
+                fp_scale=float(doc.get("fp_scale", 1.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"bad phase document {doc!r}: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -78,17 +126,40 @@ class WorkloadProfile:
 
     def __post_init__(self) -> None:
         total = sum(self.mix.values())
-        if abs(total - 1.0) > 1e-9:
-            raise ValueError(f"{self.name}: instruction mix sums to {total}")
+        if abs(total - 1.0) > SUM_TOLERANCE:
+            raise ValueError(
+                f"workload {self.name!r}: instruction mix sums to "
+                f"{total!r}, expected 1.0 (tolerance {SUM_TOLERANCE})"
+            )
+        if any(fraction < 0.0 for fraction in self.mix.values()):
+            raise ValueError(
+                f"workload {self.name!r}: instruction mix has a negative "
+                f"fraction"
+            )
         if self.domain not in (INT, FP):
-            raise ValueError(f"{self.name}: domain must be 'int' or 'fp'")
+            raise ValueError(
+                f"workload {self.name!r}: domain must be {INT!r} or {FP!r}, "
+                f"got {self.domain!r}"
+            )
         weights = sum(p.weight for p in self.phases)
-        if abs(weights - 1.0) > 1e-9:
-            raise ValueError(f"{self.name}: phase weights sum to {weights}")
+        if abs(weights - 1.0) > SUM_TOLERANCE:
+            raise ValueError(
+                f"workload {self.name!r}: phase weights sum to {weights!r}, "
+                f"expected 1.0 (tolerance {SUM_TOLERANCE})"
+            )
         if self.dep_mean_distance < 1.0:
-            raise ValueError("dep_mean_distance must be >= 1")
-        if not 0.0 <= self.icache_miss_rate <= 1.0:
-            raise ValueError("icache_miss_rate must be in [0, 1]")
+            raise ValueError(
+                f"workload {self.name!r}: dep_mean_distance must be >= 1, "
+                f"got {self.dep_mean_distance}"
+            )
+        for field_name in ("branch_misp_rate", "l1d_miss_rate",
+                           "l2_miss_rate", "icache_miss_rate"):
+            rate = getattr(self, field_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"workload {self.name!r}: {field_name} must be in "
+                    f"[0, 1], got {rate}"
+                )
 
     def phase_profile(self, phase: PhaseSpec) -> "WorkloadProfile":
         """Return a copy of this profile with the phase's scalings applied."""
@@ -110,6 +181,74 @@ class WorkloadProfile:
             l2_miss_rate=min(1.0, self.l2_miss_rate * phase.l2_scale),
             phases=(PhaseSpec(phase.name, 1.0),),
         )
+
+    # ------------------------------------------------------------------
+    # Canonical wire format + content hash.
+    # ------------------------------------------------------------------
+    def to_wire(self) -> Dict[str, Any]:
+        """The canonical JSON document for this profile.
+
+        Mix keys ride as :class:`Uop` names and floats survive Python's
+        ``json`` round trip bit-identically (repr-based), so
+        ``from_wire(to_wire(p)) == p`` exactly.  This is what lets
+        generated / ingested (non-suite) profiles cross the campaign
+        service's JSON-lines wire and address the artifact cache by
+        *content* instead of by suite name.
+        """
+        return {
+            "name": self.name,
+            "domain": self.domain,
+            "mix": {kind.name: fraction for kind, fraction in self.mix.items()},
+            "dep_mean_distance": self.dep_mean_distance,
+            "branch_misp_rate": self.branch_misp_rate,
+            "l1d_miss_rate": self.l1d_miss_rate,
+            "l2_miss_rate": self.l2_miss_rate,
+            "icache_miss_rate": self.icache_miss_rate,
+            "phases": [phase.to_wire() for phase in self.phases],
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Mapping[str, Any]) -> "WorkloadProfile":
+        """Rebuild a profile from :meth:`to_wire`; raises ``ValueError``
+        (with the offending field) on malformed documents."""
+        try:
+            mix = {
+                Uop[str(kind)]: float(fraction)
+                for kind, fraction in dict(doc["mix"]).items()
+            }
+        except KeyError as exc:
+            raise ValueError(
+                f"bad workload document: unknown or missing mix kind {exc}"
+            ) from exc
+        try:
+            phases = tuple(
+                PhaseSpec.from_wire(inner) for inner in doc.get("phases", [])
+            ) or (PhaseSpec("main", 1.0),)
+            return cls(
+                name=str(doc["name"]),
+                domain=str(doc["domain"]),
+                mix=mix,
+                dep_mean_distance=float(doc["dep_mean_distance"]),
+                branch_misp_rate=float(doc["branch_misp_rate"]),
+                l1d_miss_rate=float(doc["l1d_miss_rate"]),
+                l2_miss_rate=float(doc["l2_miss_rate"]),
+                icache_miss_rate=float(doc.get("icache_miss_rate", 0.001)),
+                phases=phases,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"bad workload document (missing/invalid field): {exc}"
+            ) from exc
+
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical wire document.
+
+        Stable across processes and hosts (sorted keys, repr floats), so
+        two structurally identical profiles — whatever produced them —
+        hash alike, and any field change (including the name) rehashes.
+        """
+        document = json.dumps(self.to_wire(), sort_keys=True)
+        return hashlib.sha256(document.encode("utf-8")).hexdigest()
 
 
 def _mix(

@@ -31,6 +31,7 @@ from .protocol import (
     LeasedUnit,
     ProtocolError,
     ProtocolVersionError,
+    UnknownWorkloadError,
     check_version,
     rows_from_wire,
     rows_to_wire,
@@ -42,6 +43,8 @@ from .protocol import (
     summaries_to_wire,
     unit_from_wire,
     unit_to_wire,
+    workloads_from_wire,
+    workloads_to_wire,
 )
 from .worker import FleetWorker
 from .scheduler import CellScheduler, RetryPolicy, UnitTimeoutError
@@ -85,6 +88,7 @@ __all__ = [
     "UnitTimeoutError",
     "UnknownJobError",
     "UnknownWorkerError",
+    "UnknownWorkloadError",
     "WorkerInfo",
     "build_cell",
     "check_version",
@@ -100,4 +104,6 @@ __all__ = [
     "summaries_to_wire",
     "unit_from_wire",
     "unit_to_wire",
+    "workloads_from_wire",
+    "workloads_to_wire",
 ]

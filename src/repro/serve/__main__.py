@@ -210,6 +210,11 @@ def main(argv=None) -> int:
         "--workload", action="append", metavar="NAME",
         help="restrict to these suite workloads (repeatable)",
     )
+    submit_p.add_argument(
+        "--profiles", default=None, metavar="FILE",
+        help="also run the profiles saved in FILE (the repro.workloads "
+             "--out format); non-suite profiles cross the wire inline",
+    )
     submit_p.add_argument("--priority", type=int, default=0)
     submit_p.add_argument(
         "--wait", action="store_true",
@@ -253,10 +258,16 @@ def main(argv=None) -> int:
 def _run_client(args) -> int:
     client = ServiceClient(args.addr)
     if args.command == "submit":
+        workloads = list(args.workload or [])
+        if args.profiles:
+            from ..workloads.ingest import load_profiles
+            from .protocol import workloads_to_wire
+
+            workloads.extend(workloads_to_wire(load_profiles(args.profiles)))
         spec = spec_from_wire({
             "environments": args.env,
             "modes": args.mode or ["Exh-Dyn"],
-            "workloads": args.workload,
+            "workloads": workloads or None,
         })
         job_id = client.submit(spec, priority=args.priority)
         print(job_id)

@@ -31,6 +31,7 @@ from .protocol import (
     SUPPORTED_PROTOCOL_VERSIONS,
     ProtocolError,
     ProtocolVersionError,
+    UnknownWorkloadError,
     check_version,
     decode_line,
     encode_line,
@@ -202,6 +203,15 @@ class ServiceDaemon:
             if op == "shutdown":
                 threading.Thread(target=self.stop, daemon=True).start()
                 return ok(bye=True)
+        except UnknownWorkloadError as exc:
+            # Like version errors: structured, with the names the client
+            # needs to correct the spec (or switch to inline profiles).
+            return error(
+                str(exc),
+                kind="workload",
+                missing=exc.missing,
+                available=exc.available,
+            )
         except ServiceBusyError as exc:
             return error(str(exc), kind="busy")
         except UnknownJobError as exc:
@@ -312,6 +322,10 @@ class ServiceClient:
         message = response.get("error", "request failed")
         if kind == "version":
             raise ProtocolError(message)
+        if kind == "workload":
+            raise UnknownWorkloadError(
+                response.get("missing", []), response.get("available", [])
+            )
         if kind == "busy":
             raise ServiceBusyError(message)
         if kind == "unknown-job":

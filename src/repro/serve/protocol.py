@@ -9,9 +9,13 @@ One request, one response, one line of JSON each::
 
 Specs cross the wire by *name*: environments by their Table 1 names
 (:func:`repro.core.environments.by_name`), modes by their
-:class:`~repro.core.environments.AdaptationMode` values, workloads by
-their suite names.  Custom in-memory :class:`Environment` objects cannot
-be submitted remotely — that is the price of a content-addressed,
+:class:`~repro.core.environments.AdaptationMode` values, suite workloads
+by their suite names.  Non-suite workloads — generated families, ingested
+traces, evolved adversaries (:mod:`repro.workloads`) — ride *inline* as
+their canonical :meth:`WorkloadProfile.to_wire` documents, so a daemon or
+fleet worker rebuilds them bit-identically and the content-addressed
+cache keys still hold.  Custom in-memory :class:`Environment` objects
+cannot be submitted remotely — that is the price of a content-addressed,
 language-neutral wire format.  Engine-level spec fields (``parallelism``,
 ``cache_dir``, ``use_cache``) are intentionally absent: server-side
 policy governs them.
@@ -55,6 +59,24 @@ class ProtocolError(ValueError):
     """A request/response line that cannot be decoded or resolved."""
 
 
+class UnknownWorkloadError(ProtocolError):
+    """A spec named workloads this daemon's suite does not contain.
+
+    Carries the missing and the available names so the daemon can answer
+    with a structured ``kind="workload"`` error (like version errors) and
+    the client can correct the spec — or submit the profile inline.
+    """
+
+    def __init__(self, missing: Sequence[str], available: Sequence[str]):
+        self.missing = list(missing)
+        self.available = sorted(available)
+        super().__init__(
+            f"unknown workloads: {self.missing} "
+            f"(available: {self.available}; non-suite profiles must be "
+            f"submitted inline as to_wire() documents)"
+        )
+
+
 class ProtocolVersionError(ProtocolError):
     """A request whose protocol major this daemon does not speak."""
 
@@ -83,15 +105,69 @@ def check_version(request: Dict[str, Any]) -> int:
 
 
 # ----------------------------------------------------------------------
+# Workloads: suite names or inline profile documents.
+# ----------------------------------------------------------------------
+def workloads_to_wire(
+    workloads: Sequence[WorkloadProfile],
+) -> List[Any]:
+    """Encode workloads compactly: suite members by name, others inline.
+
+    A profile is sent as a bare name string only when it is *structurally
+    identical* to the suite profile of that name — a generated profile
+    that merely reuses a suite name still rides inline, so the receiving
+    side always rebuilds exactly what was submitted.
+    """
+    suite = {w.name: w for w in spec2000_like_suite()}
+    return [
+        w.name if suite.get(w.name) == w else w.to_wire() for w in workloads
+    ]
+
+
+def workloads_from_wire(
+    items: Sequence[Any],
+    suite: Optional[Sequence[WorkloadProfile]] = None,
+) -> Tuple[WorkloadProfile, ...]:
+    """Resolve a wire workload list (names and/or inline documents).
+
+    Unknown names raise :class:`UnknownWorkloadError` listing the
+    available suite names; malformed inline documents raise
+    :class:`ProtocolError`.
+    """
+    pool = {w.name: w for w in (suite or spec2000_like_suite())}
+    resolved: List[WorkloadProfile] = []
+    missing: List[str] = []
+    for item in items:
+        if isinstance(item, str):
+            if item in pool:
+                resolved.append(pool[item])
+            else:
+                missing.append(item)
+            continue
+        if isinstance(item, dict):
+            try:
+                resolved.append(WorkloadProfile.from_wire(item))
+            except ValueError as exc:
+                raise ProtocolError(f"bad inline workload: {exc}") from exc
+            continue
+        raise ProtocolError(
+            f"workload entries must be suite names or profile documents, "
+            f"got {item!r}"
+        )
+    if missing:
+        raise UnknownWorkloadError(missing, list(pool))
+    return tuple(resolved)
+
+
+# ----------------------------------------------------------------------
 # Specs.
 # ----------------------------------------------------------------------
 def spec_to_wire(spec: RunSpec) -> Dict[str, Any]:
-    """Encode a :class:`RunSpec` as JSON-safe names."""
+    """Encode a :class:`RunSpec` as JSON-safe names/documents."""
     return {
         "environments": [env.name for env in spec.environments],
         "modes": [mode.value for mode in spec.modes],
         "workloads": (
-            [w.name for w in spec.workloads]
+            workloads_to_wire(spec.workloads)
             if spec.workloads is not None
             else None
         ),
@@ -105,9 +181,10 @@ def spec_from_wire(
     """Resolve a wire spec back to a :class:`RunSpec`.
 
     ``suite`` is the workload universe names resolve against (default:
-    the SPEC-2000-like suite).  Unknown names raise
-    :class:`ProtocolError` so the daemon can answer with a structured
-    error instead of dying mid-decode.
+    the SPEC-2000-like suite); inline profile documents bypass it.
+    Unknown names raise :class:`UnknownWorkloadError` (listing the
+    available names) so the daemon can answer with a structured
+    ``kind="workload"`` error instead of dying mid-decode.
     """
     try:
         environments = tuple(by_name(n) for n in doc["environments"])
@@ -115,13 +192,9 @@ def spec_from_wire(
     except (KeyError, ValueError) as exc:
         raise ProtocolError(f"bad spec: {exc}") from exc
     workloads = None
-    names = doc.get("workloads")
-    if names is not None:
-        pool = {w.name: w for w in (suite or spec2000_like_suite())}
-        missing = [n for n in names if n not in pool]
-        if missing:
-            raise ProtocolError(f"unknown workloads: {missing}")
-        workloads = tuple(pool[n] for n in names)
+    items = doc.get("workloads")
+    if items is not None:
+        workloads = workloads_from_wire(items, suite=suite)
     return RunSpec(environments=environments, modes=modes, workloads=workloads)
 
 
@@ -239,7 +312,7 @@ def unit_to_wire(cell, unit) -> Dict[str, Any]:
         "core_index": unit.core_index,
         "environment": cell.env.name,
         "mode": cell.mode.value,
-        "workloads": [w.name for w in cell.workloads],
+        "workloads": workloads_to_wire(cell.workloads),
     }
 
 
@@ -251,17 +324,13 @@ def unit_from_wire(
     try:
         env = by_name(doc["environment"])
         mode = AdaptationMode(doc["mode"])
-        names = doc["workloads"]
+        items = doc["workloads"]
         chip_index = int(doc["chip_index"])
         core_index = int(doc["core_index"])
         cell_key = doc["cell_key"]
         key = doc["unit_key"]
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"bad leased unit: {exc}") from exc
-    pool = {w.name: w for w in (suite or spec2000_like_suite())}
-    missing = [n for n in names if n not in pool]
-    if missing:
-        raise ProtocolError(f"unknown workloads: {missing}")
     return LeasedUnit(
         cell_key=cell_key,
         unit_key=key,
@@ -269,7 +338,7 @@ def unit_from_wire(
         core_index=core_index,
         env=env,
         mode=mode,
-        workloads=tuple(pool[n] for n in names),
+        workloads=workloads_from_wire(items, suite=suite),
     )
 
 

@@ -58,6 +58,78 @@ class TestWorkloads:
         with pytest.raises(ValueError):
             PhaseSpec("p", 0.0)
 
+    def test_validation_errors_name_the_profile(self):
+        with pytest.raises(ValueError, match="'bad'"):
+            WorkloadProfile(
+                "bad", "int", {Uop.INT_ALU: 0.5}, 3.0, 0.05, 0.02, 0.1
+            )
+        with pytest.raises(ValueError, match="'rates'"):
+            WorkloadProfile(
+                "rates", "int", {Uop.INT_ALU: 1.0}, 3.0, 1.5, 0.02, 0.1
+            )
+        with pytest.raises(ValueError, match="'deps'"):
+            WorkloadProfile(
+                "deps", "int", {Uop.INT_ALU: 1.0}, 0.5, 0.05, 0.02, 0.1
+            )
+        with pytest.raises(ValueError, match="'weights'"):
+            WorkloadProfile(
+                "weights", "int", {Uop.INT_ALU: 1.0}, 3.0, 0.05, 0.02, 0.1,
+                phases=(PhaseSpec("a", 0.5), PhaseSpec("b", 0.2)),
+            )
+
+    def test_mix_tolerance_is_tight(self):
+        # Inside 1e-6 passes; outside fails.
+        WorkloadProfile(
+            "ok", "int", {Uop.INT_ALU: 1.0 + 5e-7}, 3.0, 0.05, 0.02, 0.1
+        )
+        with pytest.raises(ValueError, match="sums"):
+            WorkloadProfile(
+                "no", "int", {Uop.INT_ALU: 1.0 + 5e-6}, 3.0, 0.05, 0.02, 0.1
+            )
+
+
+class TestPhaseSpecEdgeCases:
+    def test_zero_scales_clamp_rates_and_deps(self):
+        base = by_name("gcc*")
+        phase = PhaseSpec("idle", 1.0, l2_scale=0.0, ilp_scale=0.0)
+        scaled = base.phase_profile(phase)
+        assert scaled.l2_miss_rate == 0.0
+        assert scaled.dep_mean_distance == 1.0  # clamped to the floor
+
+    def test_extreme_scales_stay_in_domain(self):
+        base = by_name("gcc*")
+        phase = PhaseSpec(
+            "storm", 1.0, l2_scale=1e6, branch_scale=1e6, ilp_scale=1e6
+        )
+        scaled = base.phase_profile(phase)
+        assert scaled.l2_miss_rate == 1.0
+        assert scaled.branch_misp_rate == 1.0
+        assert scaled.dep_mean_distance == base.dep_mean_distance * 1e6
+
+    def test_negative_or_nonfinite_scales_rejected(self):
+        with pytest.raises(ValueError, match="l2_scale"):
+            PhaseSpec("p", 1.0, l2_scale=-0.1)
+        with pytest.raises(ValueError, match="ilp_scale"):
+            PhaseSpec("p", 1.0, ilp_scale=float("nan"))
+        with pytest.raises(ValueError, match="branch_scale"):
+            PhaseSpec("p", 1.0, branch_scale=float("inf"))
+
+    def test_single_phase_profile_is_trivial(self):
+        single = WorkloadProfile(
+            "solo", "int", {Uop.INT_ALU: 1.0}, 3.0, 0.05, 0.02, 0.1
+        )
+        assert len(single.phases) == 1
+        scaled = single.phase_profile(single.phases[0])
+        assert scaled == single
+
+    def test_phase_profile_is_idempotent(self, suite):
+        for profile in suite:
+            for phase in profile.phases:
+                scaled = profile.phase_profile(phase)
+                (trivial,) = scaled.phases
+                assert trivial.weight == 1.0
+                assert scaled.phase_profile(trivial) == scaled
+
 
 class TestTrace:
     def test_reproducible(self, int_workload):
