@@ -1,0 +1,113 @@
+"""Perf smoke: population-batched vs per-unit Exh-Dyn execution.
+
+Runs the fig10 slice (every chip/core of the bench population, the
+richest environment, Exh-Dyn) three ways — the fully serial per-phase
+loop, the per-unit loop over phase-batched kernels, and the
+population-tier ``run_units_batched`` program — asserts all three yield
+*identical* :class:`~repro.exps.runner.PhaseResult` rows, and writes the
+wall-clock comparison to ``BENCH_unit.json`` (and into the shared
+baseline's ``unit_batch`` section).  Measurements are warmed first so
+the timed passes compare adaptation kernels, not Monte-Carlo microarch
+simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from _shared import record_bench_section, scale, shared_runner
+
+from repro import obs
+from repro.core import TS_ASV_Q_FU, AdaptationMode
+from repro.obs import MetricsRegistry
+
+ENV = TS_ASV_Q_FU
+MODE = AdaptationMode.EXH_DYN
+
+
+def _units(runner):
+    return [
+        (chip, core)
+        for chip in range(runner.config.n_chips)
+        for core in range(runner.config.cores_per_chip)
+    ]
+
+
+def _run_serial(runner, batch_phases: bool):
+    """Per-unit loop; returns (rows, seconds, metrics)."""
+    registry = MetricsRegistry()
+    rows = []
+    with obs.scoped(registry):
+        start = time.perf_counter()
+        for chip, core in _units(runner):
+            rows.extend(
+                runner.run_unit(
+                    ENV, MODE, chip, core, batch_phases=batch_phases
+                )
+            )
+        elapsed = time.perf_counter() - start
+    return rows, elapsed, registry.to_dict()
+
+
+def _run_batched(runner):
+    """One population-tier program; returns (rows, seconds, metrics)."""
+    registry = MetricsRegistry()
+    with obs.scoped(registry):
+        start = time.perf_counter()
+        unit_rows = runner.run_units_batched(ENV, MODE, _units(runner))
+        elapsed = time.perf_counter() - start
+    rows = [row for rows in unit_rows for row in rows]
+    return rows, elapsed, registry.to_dict()
+
+
+def test_unit_batch_serial_vs_batched(benchmark):
+    runner = shared_runner()
+    chips, cores = scale()
+
+    # Warm the measurement memo (and any disk cache) so the timed passes
+    # compare adaptation kernels, not trace simulation.
+    _run_batched(runner)
+
+    scalar_rows, scalar_s, _ = _run_serial(runner, batch_phases=False)
+    serial_rows, serial_s, _ = _run_serial(runner, batch_phases=True)
+    batched_rows, batched_s, batched_metrics = benchmark.pedantic(
+        _run_batched, args=(runner,), rounds=1, iterations=1
+    )
+
+    assert batched_rows == scalar_rows  # bit-identical physics
+    assert batched_rows == serial_rows
+
+    speedup = scalar_s / batched_s if batched_s > 0 else float("inf")
+    unit_speedup = serial_s / batched_s if batched_s > 0 else float("inf")
+    payload = {
+        "environment": ENV.name,
+        "mode": MODE.value,
+        "units": chips * cores,
+        "phases": len(batched_rows),
+        "serial_scalar_seconds": scalar_s,
+        "serial_unit_seconds": serial_s,
+        "batched_seconds": batched_s,
+        "speedup": speedup,
+        "unit_tier_speedup": unit_speedup,
+        "engine_counters": {
+            name: value
+            for name, value in batched_metrics["counters"].items()
+            if name.startswith(("optimizer.", "thermal.", "engine."))
+        },
+    }
+    record_bench_section("unit_batch", payload)
+    out = os.environ.get("EVAL_REPRO_BENCH_UNIT_OUT", "BENCH_unit.json")
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"\nunit batching ({chips}x{cores} units, {len(batched_rows)} "
+          f"phase rows): scalar {scalar_s:.2f}s, per-unit {serial_s:.2f}s, "
+          f"population {batched_s:.2f}s -> {speedup:.1f}x "
+          f"({unit_speedup:.1f}x over the per-unit loop)")
+
+    # The population program must never lose to the loops it replaces.
+    assert speedup >= 1.0
+    assert unit_speedup >= 1.0

@@ -1,0 +1,132 @@
+"""Swappable array backend for the population-tier kernels.
+
+Every tensor kernel in the repo — the phase-matrix optimizer, the
+thermal fixed point, the lane-masked retuner, and the population-tier
+batched paths added with them — routes its array math through one
+:class:`ArrayBackend`.  Today the only registered backend is numpy
+(plus the two scipy normal-CDF primitives the timing model needs), but
+the shim is written ``xp``-style on purpose: a cupy or jax backend is
+one :func:`register_backend` call away and nothing above this module
+has to change.
+
+Selection is lazy and environment-driven::
+
+    EVAL_REPRO_BACKEND=numpy  python -m repro ...   # explicit default
+    set_backend("numpy")                            # programmatic
+
+Backends other than numpy raise a clear error if their package is not
+importable — the container never grows a hard dependency on them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+_ENV_VAR = "EVAL_REPRO_BACKEND"
+_DEFAULT = "numpy"
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """One array namespace plus the special functions the physics needs.
+
+    ``xp`` is the numpy-compatible module (``numpy``, ``cupy``,
+    ``jax.numpy``); ``ndtr``/``ndtri`` are the standard normal CDF and
+    its inverse, which live outside the array API proper and therefore
+    ride explicitly.
+    """
+
+    name: str
+    xp: Any
+    ndtr: Callable[..., Any]
+    ndtri: Callable[..., Any]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def asarray(self, value: Any, **kwargs: Any) -> Any:
+        return self.xp.asarray(value, **kwargs)
+
+
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
+_ACTIVE: Optional[ArrayBackend] = None
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register a lazily-constructed backend under ``name``.
+
+    The factory runs at first :func:`get_backend` resolution, so a
+    backend whose package is missing costs nothing until selected.
+    """
+    _FACTORIES[name.lower()] = factory
+
+
+def available_backends() -> tuple:
+    """Names accepted by :func:`set_backend` / ``EVAL_REPRO_BACKEND``."""
+    return tuple(sorted(_FACTORIES))
+
+
+def _build_numpy() -> ArrayBackend:
+    import numpy
+    from scipy.special import ndtr, ndtri
+
+    return ArrayBackend(name="numpy", xp=numpy, ndtr=ndtr, ndtri=ndtri)
+
+
+def _build_cupy() -> ArrayBackend:  # pragma: no cover - optional dep
+    try:
+        import cupy
+        from cupyx.scipy.special import ndtr  # type: ignore[import]
+    except ImportError as exc:
+        raise RuntimeError(
+            "backend 'cupy' requested but cupy is not installed; "
+            "install cupy or select EVAL_REPRO_BACKEND=numpy"
+        ) from exc
+    from cupyx.scipy.special import ndtri  # type: ignore[import]
+
+    return ArrayBackend(name="cupy", xp=cupy, ndtr=ndtr, ndtri=ndtri)
+
+
+def _build_jax() -> ArrayBackend:  # pragma: no cover - optional dep
+    try:
+        import jax.numpy as jnp
+        from jax.scipy.special import ndtr  # type: ignore[import]
+        from jax.scipy.stats.norm import ppf as ndtri  # type: ignore[import]
+    except ImportError as exc:
+        raise RuntimeError(
+            "backend 'jax' requested but jax is not installed; "
+            "install jax or select EVAL_REPRO_BACKEND=numpy"
+        ) from exc
+    return ArrayBackend(name="jax", xp=jnp, ndtr=ndtr, ndtri=ndtri)
+
+
+register_backend("numpy", _build_numpy)
+register_backend("cupy", _build_cupy)
+register_backend("jax", _build_jax)
+
+
+def set_backend(name: str) -> ArrayBackend:
+    """Select the active backend by name (raises on unknown names)."""
+    global _ACTIVE
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise ValueError(
+            f"unknown array backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    _ACTIVE = _FACTORIES[key]()
+    return _ACTIVE
+
+
+def get_backend() -> ArrayBackend:
+    """The active backend, resolving ``EVAL_REPRO_BACKEND`` on first use."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = set_backend(os.environ.get(_ENV_VAR, _DEFAULT))
+    return _ACTIVE
+
+
+def reset_backend() -> None:
+    """Forget the active backend so the next call re-reads the env."""
+    global _ACTIVE
+    _ACTIVE = None

@@ -163,6 +163,191 @@ class Core:
         return pdyn + psta
 
 
+#: Per-subsystem arrays stacked along the lane axis in :class:`CoreLanes`.
+_LANE_FIELDS = (
+    "vt0_timing",
+    "leff_timing",
+    "vt0_leak",
+    "rth",
+    "kdyn",
+    "ksta",
+    "stage_mean_rel",
+    "stage_sigma_rel",
+    "tail_rel",
+    "alpha_ref",
+    "rho_ref",
+)
+
+
+@dataclass
+class CoreLanes:
+    """A population of cores as one ``(B, n_subsystems)`` tensor program.
+
+    This is the :class:`Core` analogue of the optimiser's
+    ``SubsystemArrays`` lane axis, one tier up: every per-subsystem
+    parameter array of ``B`` cores stacked along a leading lane axis, so
+    the thermal solver, the timing model and the retuner evaluate a whole
+    (chip, core) population in a handful of array ops.  The physics
+    methods are the same elementwise formulas as :class:`Core`, so lane
+    ``i`` of any result is bit-identical to calling the same method on
+    ``cores[i]`` alone.
+
+    Only cores sharing calibration/physics context may stack (the same
+    rule ``SubsystemArrays.stack`` enforces) — in particular the NoVar
+    core, whose calibration disables the random tail, never stacks with
+    variation cores.
+    """
+
+    floorplan: Floorplan
+    calib: Calibration
+    delay_params: DelayParams
+    vt_sens: VtSensitivities
+    vt_mean: float
+    # (B, n) per-subsystem arrays and (B,) L2 constants.
+    vt0_timing: np.ndarray = field(repr=False)
+    leff_timing: np.ndarray = field(repr=False)
+    vt0_leak: np.ndarray = field(repr=False)
+    rth: np.ndarray = field(repr=False)
+    kdyn: np.ndarray = field(repr=False)
+    ksta: np.ndarray = field(repr=False)
+    stage_mean_rel: np.ndarray = field(repr=False)
+    stage_sigma_rel: np.ndarray = field(repr=False)
+    tail_rel: np.ndarray = field(repr=False)
+    alpha_ref: np.ndarray = field(repr=False)
+    rho_ref: np.ndarray = field(repr=False)
+    l2_kdyn: np.ndarray = field(repr=False, default=None)
+    l2_ksta: np.ndarray = field(repr=False, default=None)
+    _nominal_gate_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        shape = self.vt0_timing.shape
+        if len(shape) != 2 or shape[1] != len(self.floorplan):
+            raise ValueError(
+                f"lane arrays must have shape (B, {len(self.floorplan)}), "
+                f"got {shape}"
+            )
+        for name in _LANE_FIELDS:
+            if getattr(self, name).shape != shape:
+                raise ValueError(f"lane array {name} must have shape {shape}")
+        for name in ("l2_kdyn", "l2_ksta"):
+            if getattr(self, name).shape != (shape[0],):
+                raise ValueError(f"{name} must have shape ({shape[0]},)")
+
+    @classmethod
+    def stack(cls, cores: List[Core]) -> "CoreLanes":
+        """Stack cores along the lane axis, enforcing shared context."""
+        if not cores:
+            raise ValueError("need at least one core to stack")
+        first = cores[0]
+        for member in cores[1:]:
+            if (
+                member.calib is not first.calib
+                or member.delay_params is not first.delay_params
+                or member.vt_sens is not first.vt_sens
+            ):
+                raise ValueError(
+                    "cores must share calibration/delay/sensitivity objects "
+                    "to stack into lanes"
+                )
+            if member.vt_mean != first.vt_mean:
+                raise ValueError("cores must share vt_mean to stack")
+            if member.floorplan.names != first.floorplan.names:
+                raise ValueError("cores must share a floorplan to stack")
+        kwargs = {
+            name: np.stack([getattr(core, name) for core in cores])
+            for name in _LANE_FIELDS
+        }
+        lanes = cls(
+            floorplan=first.floorplan,
+            calib=first.calib,
+            delay_params=first.delay_params,
+            vt_sens=first.vt_sens,
+            vt_mean=first.vt_mean,
+            l2_kdyn=np.array([core.l2_kdyn for core in cores]),
+            l2_ksta=np.array([core.l2_ksta for core in cores]),
+            **kwargs,
+        )
+        lanes._nominal_gate_delay = first._nominal_gate_delay
+        return lanes
+
+    # ------------------------------------------------------------------
+    # Views.
+    # ------------------------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        """Number of stacked cores (the lane-axis length ``B``)."""
+        return self.vt0_timing.shape[0]
+
+    @property
+    def n_subsystems(self) -> int:
+        return len(self.floorplan)
+
+    @property
+    def names(self) -> List[str]:
+        return self.floorplan.names
+
+    def floorplan_vt_mean(self) -> float:
+        return self.vt_mean
+
+    def lane_subset(self, index) -> "CoreLanes":
+        """A view restricted to the lanes selected by ``index``.
+
+        ``index`` is any numpy fancy index over the lane axis (a boolean
+        mask or an integer array); the subset keeps ``(K, n)`` shapes so
+        masked solver iterations stay shape-consistent.
+        """
+        kwargs = {
+            name: getattr(self, name)[index] for name in _LANE_FIELDS
+        }
+        subset = CoreLanes(
+            floorplan=self.floorplan,
+            calib=self.calib,
+            delay_params=self.delay_params,
+            vt_sens=self.vt_sens,
+            vt_mean=self.vt_mean,
+            l2_kdyn=self.l2_kdyn[index],
+            l2_ksta=self.l2_ksta[index],
+            **kwargs,
+        )
+        subset._nominal_gate_delay = self._nominal_gate_delay
+        return subset
+
+    # ------------------------------------------------------------------
+    # Physics — identical elementwise formulas to :class:`Core`.
+    # ------------------------------------------------------------------
+    def effective_vt(self, vdd, vbb, temp, *, for_timing: bool = True):
+        vt0 = self.vt0_timing if for_timing else self.vt0_leak
+        return threshold_voltage(vt0, temp, vdd, vbb, self.vt_sens)
+
+    def delay_factor(self, vdd, vbb, temp):
+        vt = self.effective_vt(vdd, vbb, temp, for_timing=True)
+        delay = gate_delay(vdd, vt, self.leff_timing, temp, self.delay_params)
+        return delay / self._nominal_gate_delay
+
+    def subsystem_static_power(self, vdd, vbb, temp):
+        vt = self.effective_vt(vdd, vbb, temp, for_timing=False)
+        return static_power(self.ksta, vdd, temp, vt)
+
+    def subsystem_dynamic_power(self, vdd, freq, activity):
+        return self.kdyn * np.asarray(activity, dtype=float) * (
+            np.asarray(vdd, dtype=float) ** 2
+        ) * freq
+
+    def l2_power(self, freq, activity: float = 1.0) -> np.ndarray:
+        """Per-lane L2 power; lane ``i`` equals ``cores[i].l2_power``."""
+        pdyn = self.l2_kdyn * activity * self.calib.vdd_nominal**2 * np.asarray(
+            freq, dtype=float
+        )
+        psta = static_power(
+            self.l2_ksta,
+            self.calib.vdd_nominal,
+            self.calib.t_design,
+            self.vt_mean
+            + self.vt_sens.k1 * (self.calib.t_design - self.vt_sens.t_ref),
+        )
+        return pdyn + psta
+
+
 def _effective_leak_vt0(vt0_cells: np.ndarray, temp: float) -> float:
     """Effective ``Vt0`` of a region for leakage purposes.
 

@@ -26,6 +26,11 @@ Recognised environment variables::
                             loop (``--serial-phases``) instead of the
                             batched kernels; bit-identical, for perf
                             baselining and debugging
+    EVAL_REPRO_SERIAL_UNITS  any non-empty value routes (chip, core)
+                            unit execution through the per-unit serial
+                            loop (``--serial-units``) instead of the
+                            population-tier batched kernels;
+                            bit-identical, for perf baselining
     EVAL_REPRO_SHARED_MEM   ``0``/``false``/``no``/``off`` disables the
                             shared-memory population broadcast to pool
                             workers (``--no-shared-mem``); any other
@@ -74,6 +79,7 @@ class Settings:
     log_json: bool = False
     metrics_out: Optional[str] = None
     batch_phases: bool = True
+    batch_units: bool = True
     shared_mem: bool = True
     service_addr: Optional[str] = None
     service_max_jobs: int = 8
@@ -155,6 +161,9 @@ class Settings:
             batch_phases=not flag(
                 "EVAL_REPRO_SERIAL_PHASES", not base.batch_phases
             ),
+            batch_units=not flag(
+                "EVAL_REPRO_SERIAL_UNITS", not base.batch_units
+            ),
             shared_mem=tristate("EVAL_REPRO_SHARED_MEM", base.shared_mem),
             service_addr=text("EVAL_REPRO_SERVICE", base.service_addr),
             service_max_jobs=integer(
@@ -206,6 +215,8 @@ class Settings:
             metrics_out=take("metrics_out", base.metrics_out),
             batch_phases=base.batch_phases
             and not getattr(args, "serial_phases", False),
+            batch_units=base.batch_units
+            and not getattr(args, "serial_units", False),
             shared_mem=take("shared_mem", base.shared_mem),
             service_addr=take("service", base.service_addr),
             service_max_jobs=take("service_max_jobs", base.service_max_jobs),
@@ -271,6 +282,14 @@ class Settings:
             help="route Exh-Dyn phase optimisation through the per-phase "
                  "serial loop instead of the batched kernels "
                  "(bit-identical; for perf baselining)",
+        )
+        parser.add_argument(
+            "--serial-units",
+            action="store_true",
+            default=not defaults.batch_units,
+            help="route (chip, core) unit execution through the per-unit "
+                 "serial loop instead of the population-tier batched "
+                 "kernels (bit-identical; for perf baselining)",
         )
         parser.add_argument(
             "--shared-mem",

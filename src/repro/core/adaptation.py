@@ -21,11 +21,11 @@ constraints.  The search is decomposed per Section 4.2:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..chip.chip import Core
+from ..chip.chip import Core, CoreLanes
 from ..microarch.simulator import WorkloadMeasurement
 from ..mitigation.base import (
     BASE,
@@ -46,11 +46,10 @@ from .optimizer import (
     freq_algorithm,
     power_algorithm,
 )
-from .retuning import _VIOLATION_OUTCOME, Outcome, RetuningResult, retune
+from .retuning import Outcome, RetuningResult, retune, retune_batched
 from .state import (
     Configuration,
     EvaluatedState,
-    Violation,
     evaluate_configuration,
     evaluate_configurations,
 )
@@ -385,16 +384,131 @@ def _phase_arrays(
     )
 
 
+#: Core array fields copied straight into a :class:`SubsystemArrays`
+#: lane stack (everything except the technique-scaled mean/sigma).
+_CORE_PASSTHROUGH_FIELDS = (
+    "vt0_timing",
+    "leff_timing",
+    "vt0_leak",
+    "rth",
+    "kdyn",
+    "ksta",
+)
+
+
+def _stacked_phase_arrays(
+    cores: Sequence[Core],
+    techniques: Sequence[TechniqueState],
+    measurements: Sequence[WorkloadMeasurement],
+) -> SubsystemArrays:
+    """One ``(B, n)`` optimiser stack built without per-lane assembly.
+
+    Bit-identical to ``SubsystemArrays.stack([_phase_arrays(c, t, m)
+    ...])``: gathering rows through distinct-object tables copies
+    exactly the values ``np.stack`` would have copied, and the
+    technique scaling below runs the same elementwise operations in the
+    same order as :func:`~repro.core.optimizer.core_subsystem_arrays`,
+    just on the gathered ``(B, n)`` operands.  What it skips is the
+    per-lane Python: a unit block repeats each core across its phases
+    and each (technique, measurement) across its units, so the distinct
+    tables stay tiny while lanes number in the hundreds — this
+    construction is what lets the population-tier batch amortise
+    instead of paying O(lanes) object assembly.
+    """
+    first = cores[0]
+    calib = first.calib
+
+    core_slots: Dict[int, int] = {}
+    distinct_cores: List[Core] = []
+    core_index = np.empty(len(cores), dtype=np.intp)
+    for lane, core in enumerate(cores):
+        slot = core_slots.get(id(core))
+        if slot is None:
+            if core is not first and not (
+                core.calib is calib
+                and core.delay_params is first.delay_params
+                and core.vt_sens is first.vt_sens
+                and core.vt_mean == first.vt_mean
+                and core.floorplan.names == first.floorplan.names
+            ):
+                raise ValueError(
+                    "stacked batches must share calibration and parameters"
+                )
+            slot = core_slots[id(core)] = len(distinct_cores)
+            distinct_cores.append(core)
+        core_index[lane] = slot
+
+    def gather(field: str) -> np.ndarray:
+        table = np.stack([getattr(core, field) for core in distinct_cores])
+        return table[core_index]
+
+    meas_slots: Dict[int, int] = {}
+    alpha_rows: List[np.ndarray] = []
+    rho_rows: List[np.ndarray] = []
+    meas_index = np.empty(len(measurements), dtype=np.intp)
+    for lane, meas in enumerate(measurements):
+        slot = meas_slots.get(id(meas))
+        if slot is None:
+            slot = meas_slots[id(meas)] = len(alpha_rows)
+            alpha_rows.append(np.asarray(meas.activity, dtype=float))
+            rho_rows.append(np.asarray(meas.rho, dtype=float))
+        meas_index[lane] = slot
+
+    # Technique modifiers depend only on the floorplan and calibration,
+    # which the stackability checks above pin as shared — one build per
+    # distinct state covers every lane using it.
+    tech_slots: Dict[TechniqueState, int] = {}
+    delay_rows: List[np.ndarray] = []
+    sigma_rows: List[np.ndarray] = []
+    power_rows: List[np.ndarray] = []
+    tech_index = np.empty(len(techniques), dtype=np.intp)
+    for lane, technique in enumerate(techniques):
+        slot = tech_slots.get(technique)
+        if slot is None:
+            modifiers = technique.stage_modifiers(first)
+            slot = tech_slots[technique] = len(delay_rows)
+            delay_rows.append(modifiers.delay_scale)
+            sigma_rows.append(modifiers.sigma_scale)
+            power_rows.append(technique.power_factors(first))
+        tech_index[lane] = slot
+    delay_scale = np.stack(delay_rows)[tech_index]
+    sigma_scale = np.stack(sigma_rows)[tech_index]
+
+    mean = gather("stage_mean_rel") + gather("tail_rel")
+    sigma = gather("stage_sigma_rel")
+    free = mean + calib.z_free * sigma
+    sigma = sigma * sigma_scale
+    mean = free - calib.z_free * sigma
+    mean = mean * delay_scale
+    sigma = sigma * delay_scale
+
+    arrays = {name: gather(name) for name in _CORE_PASSTHROUGH_FIELDS}
+    return SubsystemArrays(
+        alpha=np.stack(alpha_rows)[meas_index],
+        rho=np.stack(rho_rows)[meas_index],
+        stage_mean_rel=mean,
+        stage_sigma_rel=sigma,
+        power_factor=np.stack(power_rows)[tech_index],
+        calib=calib,
+        delay_params=first.delay_params,
+        vt_sens=first.vt_sens,
+        vt_mean=first.vt_mean,
+        **arrays,
+    )
+
+
 def _freq_stage_batched(
-    core: Core,
+    cores: Sequence[Core],
     env: Environment,
     spec: OptimizationSpec,
     measurements: Sequence[WorkloadMeasurement],
     queue_full: bool,
 ) -> "Tuple[List[TechniqueState], List[float]]":
-    """The Freq stage of :func:`_freq_stage` for a stack of phases.
+    """The Freq stage of :func:`_freq_stage` for a stack of phase lanes.
 
-    One ``freq_algorithm`` call sweeps every phase lane (two calls when
+    ``cores`` carries one core per lane — all the same object for the
+    phase-matrix case, or a (chip, core) population for the unit-batched
+    case.  One ``freq_algorithm`` call sweeps every lane (two calls when
     the environment replicates FUs — normal and low-slope stacks); the
     Figure 4 FU decision is then applied per lane exactly as the serial
     stage does, so the chosen technique states and clamped core
@@ -404,30 +518,37 @@ def _freq_stage_batched(
         TechniqueState(queue_full=queue_full, lowslope=False, domain=m.domain)
         for m in measurements
     ]
-    stack = SubsystemArrays.stack(
-        [_phase_arrays(core, t, m) for t, m in zip(techniques, measurements)]
-    )
+    stack = _stacked_phase_arrays(cores, techniques, measurements)
     fmax = freq_algorithm(stack, spec).f_max
     if env.fu:
         lowslope = [replace(t, lowslope=True) for t in techniques]
-        stack_ls = SubsystemArrays.stack(
-            [_phase_arrays(core, t, m) for t, m in zip(lowslope, measurements)]
-        )
+        stack_ls = _stacked_phase_arrays(cores, lowslope, measurements)
         fmax_ls = freq_algorithm(stack_ls, spec).f_max
-        for lane, technique in enumerate(techniques):
-            fu_idx = core.floorplan.index_of(technique.fu_name)
-            rest = np.delete(fmax[lane], fu_idx)
+        # Per-lane inputs to the Figure 4 rule, gathered in one shot:
+        # masking the FU column to +inf leaves min() over exactly the
+        # subsystems np.delete() would have kept.
+        index_of = cores[0].floorplan.index_of
+        lanes_ix = np.arange(len(techniques))
+        fu_idx = np.array(
+            [index_of(t.fu_name) for t in techniques], dtype=np.intp
+        )
+        f_fu = fmax[lanes_ix, fu_idx]
+        f_fu_ls = fmax_ls[lanes_ix, fu_idx]
+        rest = fmax.copy()
+        rest[lanes_ix, fu_idx] = np.inf
+        f_rest = rest.min(axis=1)
+        for lane in range(len(techniques)):
             decision = choose_fu_implementation(
-                f_normal=float(fmax[lane][fu_idx]),
-                f_lowslope=float(fmax_ls[lane][fu_idx]),
-                f_rest=float(rest.min()),
+                f_normal=float(f_fu[lane]),
+                f_lowslope=float(f_fu_ls[lane]),
+                f_rest=float(f_rest[lane]),
             )
             if decision.use_lowslope:
                 techniques[lane] = lowslope[lane]
                 fmax[lane] = fmax_ls[lane]
     f_core = [
-        spec.knob_ranges.clamp_frequency(float(fmax[lane].min()))
-        for lane in range(len(measurements))
+        spec.knob_ranges.clamp_frequency(float(f))
+        for f in fmax.min(axis=1)
     ]
     return techniques, f_core
 
@@ -469,9 +590,10 @@ def optimize_phases_batched(
     if env.queue and any(resized is None for _, resized in phases):
         raise ValueError(f"{env.name} resizes queues: meas_resized required")
 
+    lane_cores = [core] * len(phases)
     full_meas = [meas for meas, _ in phases]
     techniques_full, f_full = _freq_stage_batched(
-        core, env, spec, full_meas, queue_full=True
+        lane_cores, env, spec, full_meas, queue_full=True
     )
     chosen: List[Tuple[TechniqueState, WorkloadMeasurement, float]] = list(
         zip(techniques_full, full_meas, f_full)
@@ -479,7 +601,7 @@ def optimize_phases_batched(
     if env.queue:
         resized_meas = [resized for _, resized in phases]
         techniques_rs, f_rs = _freq_stage_batched(
-            core, env, spec, resized_meas, queue_full=False
+            lane_cores, env, spec, resized_meas, queue_full=False
         )
         pe_target = core.calib.pe_max if env.checker else 0.0
         for lane, (meas_full, meas_resized) in enumerate(phases):
@@ -494,8 +616,10 @@ def optimize_phases_batched(
                 chosen[lane] = (techniques_rs[lane], meas_resized, f_rs[lane])
 
     if env.asv or env.abb:
-        stack = SubsystemArrays.stack(
-            [_phase_arrays(core, t, m) for t, m, _ in chosen]
+        stack = _stacked_phase_arrays(
+            lane_cores,
+            [t for t, _, _ in chosen],
+            [m for _, m, _ in chosen],
         )
         f_lanes = np.array([f for _, _, f in chosen])
         power = power_algorithm(stack, f_lanes, spec)
@@ -510,7 +634,7 @@ def optimize_phases_batched(
 
     if retune_enabled:
         return _finish_phases_batched(
-            core, env, spec, chosen, voltages, mode, bank
+            lane_cores, env, spec, chosen, voltages, mode, bank
         )
     return [
         _finish_phase(
@@ -522,7 +646,7 @@ def optimize_phases_batched(
 
 
 def _finish_phases_batched(
-    core: Core,
+    cores: Sequence[Core],
     env: Environment,
     spec: OptimizationSpec,
     chosen: "Sequence[Tuple[TechniqueState, WorkloadMeasurement, float]]",
@@ -532,27 +656,40 @@ def _finish_phases_batched(
 ) -> List[AdaptationResult]:
     """Power-budget enforcement + retuning for all lanes, masked-batched.
 
-    Mirrors :func:`_finish_phase` (and :func:`~repro.core.retuning.retune`)
-    lane-for-lane: every constraint check a lane would make serially is
-    made at the same frequency with the same elementwise physics — only
-    grouped, so each round of checks across the still-active lanes is a
-    single :func:`~repro.core.state.evaluate_configurations` call, and
-    each power-stage re-run a single batched Power sweep.  Lanes retire
-    from a loop exactly when their serial counterpart would exit it,
-    which is what makes the results bit-identical.
+    ``cores`` carries one core per lane — all the same object for the
+    phase-matrix case, or a (chip, core) population for the unit-batched
+    case.  Mirrors :func:`_finish_phase` lane-for-lane: every constraint
+    check a lane would make serially is made at the same frequency with
+    the same elementwise physics — only grouped, so each round of checks
+    across the still-active lanes is a single
+    :func:`~repro.core.state.evaluate_configurations` call, and each
+    power-stage re-run a single batched Power sweep.  The Section 4.3.3
+    retuning tail delegates to
+    :func:`~repro.core.retuning.retune_batched`, which applies the same
+    lane-masking discipline, which is what makes the results
+    bit-identical.
     """
     knobs = spec.knob_ranges
     step = knobs.f_step
     n_lanes = len(chosen)
+    cores = list(cores)
     techniques = [technique for technique, _, _ in chosen]
     meas = [measurement for _, measurement, _ in chosen]
     f = [float(f_core) for _, _, f_core in chosen]
     vdd = [v for v, _ in voltages]
     vbb = [b for _, b in voltages]
 
+    shared = all(c is cores[0] for c in cores)
+    lanes_view = None if shared else CoreLanes.stack(cores)
+
     def check(lanes, freqs) -> List[EvaluatedState]:
+        node = (
+            cores[0]
+            if shared
+            else lanes_view.lane_subset(np.asarray(lanes, dtype=int))
+        )
         return evaluate_configurations(
-            core,
+            node,
             [
                 Configuration(
                     f_core=freq, vdd=vdd[i], vbb=vbb[i],
@@ -574,15 +711,17 @@ def _finish_phases_batched(
         states = check(active, [f[i] for i in active])
         over = [
             i for i, state in zip(active, states)
-            if state.total_power > core.calib.p_max
+            if state.total_power > cores[i].calib.p_max
         ]
         if not over:
             break
         for i in over:
             f[i] -= 2 * step
         if (env.asv or env.abb) and mode is not AdaptationMode.FUZZY_DYN:
-            stack = SubsystemArrays.stack(
-                [_phase_arrays(core, techniques[i], meas[i]) for i in over]
+            stack = _stacked_phase_arrays(
+                [cores[i] for i in over],
+                [techniques[i] for i in over],
+                [meas[i] for i in over],
             )
             power = power_algorithm(
                 stack, np.array([f[i] for i in over]), spec
@@ -592,135 +731,233 @@ def _finish_phases_batched(
         else:
             for i in over:
                 vdd[i], vbb[i] = _power_stage(
-                    core, env, spec, techniques[i], meas[i], f[i], mode, bank
+                    cores[i], env, spec, techniques[i], meas[i], f[i], mode,
+                    bank,
                 )
         active = [i for i in over if f[i] - 2 * step >= knobs.f_min]
 
-    # Section 4.3.3 retuning cycles, lane-masked (see retune()).
-    pe_limit = core.calib.pe_max if env.checker else 1e-12
+    # Section 4.3.3 retuning cycles, lane-masked (see retune_batched()).
+    pe_limit = cores[0].calib.pe_max if env.checker else 1e-12
     f_entry = list(f)  # the controller frequency each lane retunes from
-    max_adjustments = 64
-    state_of: List[Optional[EvaluatedState]] = [None] * n_lanes
-    outcome_of: List[Optional[Outcome]] = [None] * n_lanes
-    steps = [0] * n_lanes
-    viol: List[Violation] = [Violation.NONE] * n_lanes
-
-    for i, state in enumerate(check(list(range(n_lanes)), f_entry)):
-        state_of[i] = state
-        viol[i] = state.violation(core, pe_max=pe_limit)
-    initial_viol = list(viol)
-
-    # Violating lanes: exponential back-off (1, 2, 4, 8... steps)...
-    move = [1] * n_lanes
-    active = [
-        i for i in range(n_lanes)
-        if viol[i] is not Violation.NONE and f[i] > knobs.f_min
-        and steps[i] < max_adjustments
-    ]
-    while active:
-        freqs = [max(f[i] - move[i] * step, knobs.f_min) for i in active]
-        for i, freq, state in zip(active, freqs, check(active, freqs)):
-            f[i] = freq
-            state_of[i] = state
-            viol[i] = state.violation(core, pe_max=pe_limit)
-            steps[i] += 1
-            move[i] = min(move[i] * 2, 8)
-        active = [
-            i for i in active
-            if viol[i] is not Violation.NONE and f[i] > knobs.f_min
-            and steps[i] < max_adjustments
-        ]
-    for i in range(n_lanes):
-        if initial_viol[i] is not Violation.NONE:
-            outcome_of[i] = _VIOLATION_OUTCOME[initial_viol[i]]
-    # ...then a single-step ramp back up to just below the violation.
-    active = [
-        i for i in range(n_lanes)
-        if initial_viol[i] is not Violation.NONE
-        and f[i] + step <= f_entry[i] and steps[i] < max_adjustments
-    ]
-    while active:
-        freqs = [f[i] + step for i in active]
-        advanced = []
-        for i, freq, state in zip(active, freqs, check(active, freqs)):
-            steps[i] += 1
-            if state.violation(core, pe_max=pe_limit) is not Violation.NONE:
-                continue  # retire at the current frequency and state
-            f[i] = freq
-            state_of[i] = state
-            advanced.append(i)
-        active = [
-            i for i in advanced
-            if f[i] + step <= f_entry[i] and steps[i] < max_adjustments
-        ]
-
-    # No-violation lanes: probe one step up; NoChange if it immediately
-    # violates, otherwise keep ramping toward f_max (LowFreq).
-    no_violation = [
-        i for i in range(n_lanes) if initial_viol[i] is Violation.NONE
-    ]
-    if no_violation:
-        probes = [min(f[i] + step, knobs.f_max) for i in no_violation]
-        ramp = []
-        for i, freq, state in zip(
-            no_violation, probes, check(no_violation, probes)
-        ):
-            steps[i] += 1
-            if (
-                state.violation(core, pe_max=pe_limit) is not Violation.NONE
-                or f[i] + step > knobs.f_max
-            ):
-                outcome_of[i] = Outcome.NO_CHANGE
-                continue
-            f[i] = freq
-            state_of[i] = state
-            outcome_of[i] = Outcome.LOW_FREQ
-            ramp.append(i)
-        active = [
-            i for i in ramp
-            if f[i] + step <= knobs.f_max and steps[i] < max_adjustments
-        ]
-        while active:
-            freqs = [f[i] + step for i in active]
-            advanced = []
-            for i, freq, state in zip(active, freqs, check(active, freqs)):
-                steps[i] += 1
-                if (
-                    state.violation(core, pe_max=pe_limit)
-                    is not Violation.NONE
-                ):
-                    continue
-                f[i] = freq
-                state_of[i] = state
-                advanced.append(i)
-            active = [
-                i for i in advanced
-                if f[i] + step <= knobs.f_max and steps[i] < max_adjustments
-            ]
-
-    results = []
-    for i in range(n_lanes):
-        config = Configuration(
+    configs = [
+        Configuration(
             f_core=f[i], vdd=vdd[i], vbb=vbb[i], technique=techniques[i]
         )
-        state = state_of[i]
-        params = perf_params_from_measurement(meas[i], core)
-        pe_effective = state.pe_total if env.checker else 0.0
-        perf = float(performance(config.f_core, pe_effective, params))
+        for i in range(n_lanes)
+    ]
+    retuned = retune_batched(
+        cores,
+        configs,
+        [m.activity for m in meas],
+        [m.rho for m in meas],
+        pe_max=pe_limit,
+        checker=env.checker,
+        knob_ranges=knobs,
+        t_heatsink=spec.t_heatsink,
+    )
+
+    results = []
+    for i, result in enumerate(retuned):
+        params = perf_params_from_measurement(meas[i], cores[i])
+        pe_effective = result.state.pe_total if env.checker else 0.0
+        perf = float(
+            performance(result.config.f_core, pe_effective, params)
+        )
         if env.checker:
             perf = float(CheckerConfig().cap_performance(perf))
         results.append(
             AdaptationResult(
                 environment=env,
                 mode=mode,
-                config=config,
-                state=state,
-                outcome=outcome_of[i],
+                config=result.config,
+                state=result.state,
+                outcome=result.outcome,
                 f_controller=f_entry[i],
                 measurement=meas[i],
                 performance_ips=perf,
             )
         )
+    return results
+
+
+def _population_stackable(cores: Sequence[Core]) -> bool:
+    """Whether the cores share enough context to stack into lanes."""
+    first = cores[0]
+    return all(
+        c is first
+        or (
+            c.calib is first.calib
+            and c.delay_params is first.delay_params
+            and c.vt_sens is first.vt_sens
+            and c.vt_mean == first.vt_mean
+            and c.floorplan.names == first.floorplan.names
+        )
+        for c in cores
+    )
+
+
+def optimize_units_batched(
+    units: Sequence[
+        "Tuple[Core, Sequence[Tuple[WorkloadMeasurement, Optional[WorkloadMeasurement]]]]"
+    ],
+    env: Environment,
+    mode: AdaptationMode = AdaptationMode.EXH_DYN,
+    bank: "Optional[ControllerBank]" = None,
+    *,
+    spec: Optional[OptimizationSpec] = None,
+    retune_enabled: bool = True,
+) -> List[List[AdaptationResult]]:
+    """Adapt the phases of a whole (chip, core) population in one program.
+
+    ``units`` is a sequence of ``(core, phases)`` pairs where ``phases``
+    is the ``(meas_full, meas_resized)`` list :func:`optimize_phases_batched`
+    accepts.  All units' phase lanes are flattened onto one lane axis —
+    their cores stacked into a :class:`~repro.chip.chip.CoreLanes`
+    tensor where the batched kernels need per-lane physics — so the Freq
+    sweep, the Power sweep, the PMAX loop and the retuning cycles each
+    run once for the entire population instead of once per unit.
+
+    Every lane follows exactly the decision sequence
+    :func:`optimize_phase` applies to it alone, so the returned
+    per-unit result lists are bit-identical to calling the serial (or
+    phase-batched) path unit by unit.  Fuzzy-Dyn keeps its inherently
+    scalar controller stages serial per lane but batches the
+    finish/retune tail; Static falls back entirely (it adapts once per
+    unit already).  Populations whose cores cannot stack (mixed
+    calibrations, e.g. a NoVar core) also fall back to the per-unit
+    path.
+    """
+    units = [(core, list(phases)) for core, phases in units]
+    if not units:
+        return []
+
+    def serial() -> List[List[AdaptationResult]]:
+        return [
+            optimize_phases_batched(
+                core, env, phases, mode=mode, bank=bank, spec=spec,
+                retune_enabled=retune_enabled,
+            )
+            for core, phases in units
+        ]
+
+    counts = [len(phases) for _, phases in units]
+    lane_cores = [core for core, phases in units for _ in phases]
+    lane_pairs = [pair for _, phases in units for pair in phases]
+    total = len(lane_pairs)
+    if (
+        total <= 1
+        or mode not in (AdaptationMode.EXH_DYN, AdaptationMode.FUZZY_DYN)
+        or not _population_stackable([core for core, _ in units])
+    ):
+        return serial()
+    if env.queue and any(resized is None for _, resized in lane_pairs):
+        raise ValueError(f"{env.name} resizes queues: meas_resized required")
+
+    first_core = units[0][0]
+    spec = spec or env.optimization_spec(
+        first_core.n_subsystems, first_core.calib
+    )
+
+    if mode is AdaptationMode.EXH_DYN:
+        full_meas = [meas for meas, _ in lane_pairs]
+        techniques_full, f_full = _freq_stage_batched(
+            lane_cores, env, spec, full_meas, queue_full=True
+        )
+        chosen: List[Tuple[TechniqueState, WorkloadMeasurement, float]] = (
+            list(zip(techniques_full, full_meas, f_full))
+        )
+        if env.queue:
+            resized_meas = [resized for _, resized in lane_pairs]
+            techniques_rs, f_rs = _freq_stage_batched(
+                lane_cores, env, spec, resized_meas, queue_full=False
+            )
+            pe_target = first_core.calib.pe_max if env.checker else 0.0
+            for lane, (meas_full, meas_resized) in enumerate(lane_pairs):
+                decision = choose_queue_size(
+                    f_full[lane],
+                    perf_params_from_measurement(meas_full, lane_cores[lane]),
+                    f_rs[lane],
+                    perf_params_from_measurement(
+                        meas_resized, lane_cores[lane]
+                    ),
+                    pe_target,
+                )
+                if not decision.use_full:
+                    chosen[lane] = (
+                        techniques_rs[lane], meas_resized, f_rs[lane]
+                    )
+
+        if env.asv or env.abb:
+            stack = _stacked_phase_arrays(
+                lane_cores,
+                [t for t, _, _ in chosen],
+                [m for _, m, _ in chosen],
+            )
+            f_lanes = np.array([f for _, _, f in chosen])
+            power = power_algorithm(stack, f_lanes, spec)
+            voltages = [
+                (power.vdd[lane], power.vbb[lane])
+                for lane in range(len(chosen))
+            ]
+        else:
+            voltages = [
+                (
+                    np.full(c.n_subsystems, c.calib.vdd_nominal),
+                    np.zeros(c.n_subsystems),
+                )
+                for c in lane_cores
+            ]
+    else:  # FUZZY_DYN: scalar controller stages, batched finish tail.
+        chosen = []
+        voltages = []
+        for core, (meas_full, meas_resized) in zip(lane_cores, lane_pairs):
+            technique_full, f_lane = _freq_stage(
+                core, env, spec, meas_full, mode, bank, queue_full=True
+            )
+            technique, lane_meas = technique_full, meas_full
+            if env.queue:
+                technique_rs, f_rs_lane = _freq_stage(
+                    core, env, spec, meas_resized, mode, bank,
+                    queue_full=False,
+                )
+                pe_target = core.calib.pe_max if env.checker else 0.0
+                decision = choose_queue_size(
+                    f_lane,
+                    perf_params_from_measurement(meas_full, core),
+                    f_rs_lane,
+                    perf_params_from_measurement(meas_resized, core),
+                    pe_target,
+                )
+                if not decision.use_full:
+                    technique, lane_meas, f_lane = (
+                        technique_rs, meas_resized, f_rs_lane
+                    )
+            voltages.append(
+                _power_stage(
+                    core, env, spec, technique, lane_meas, f_lane, mode, bank
+                )
+            )
+            chosen.append((technique, lane_meas, f_lane))
+
+    if retune_enabled:
+        flat = _finish_phases_batched(
+            lane_cores, env, spec, chosen, voltages, mode, bank
+        )
+    else:
+        flat = [
+            _finish_phase(
+                lane_cores[lane], env, spec, technique, lane_meas, f_lane,
+                vdd, vbb, mode, bank, retune_enabled,
+            )
+            for lane, ((technique, lane_meas, f_lane), (vdd, vbb)) in
+            enumerate(zip(chosen, voltages))
+        ]
+
+    results: List[List[AdaptationResult]] = []
+    position = 0
+    for count in counts:
+        results.append(flat[position:position + count])
+        position += count
     return results
 
 

@@ -20,13 +20,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..chip.chip import Core
+from ..chip.chip import Core, CoreLanes
 from ..circuits.knobs import DEFAULT_KNOB_RANGES, KnobRanges
-from .state import Configuration, EvaluatedState, Violation, evaluate_configuration
+from .state import (
+    Configuration,
+    EvaluatedState,
+    Violation,
+    evaluate_configuration,
+    evaluate_configurations,
+)
 
 
 class Outcome(Enum):
@@ -164,3 +170,174 @@ def retune(
         f_initial=config.f_core,
         steps=steps,
     )
+
+
+def retune_batched(
+    cores: Sequence[Core],
+    configs: Sequence[Configuration],
+    activities: Sequence[np.ndarray],
+    rhos: Sequence[np.ndarray],
+    *,
+    pe_max: float,
+    checker: bool = True,
+    knob_ranges: KnobRanges = DEFAULT_KNOB_RANGES,
+    t_heatsink: Optional[float] = None,
+    max_adjustments: int = 64,
+) -> List[RetuningResult]:
+    """Lane-masked :func:`retune` over many (core, configuration) lanes.
+
+    Each lane ``i`` retunes ``configs[i]`` on ``cores[i]`` exactly as the
+    serial function would — every constraint check a lane makes serially
+    is made here at the same frequency with the same elementwise physics,
+    only grouped so each round of checks across the still-active lanes is
+    one :func:`~repro.core.state.evaluate_configurations` call.  Lanes
+    retire from each loop precisely when their serial counterpart would
+    exit it, so every returned :class:`RetuningResult` is bit-identical
+    to ``retune(cores[i], configs[i], ...)``.
+
+    All lanes may share one core (pass ``[core] * n``, the phase-matrix
+    case) or carry distinct cores of one population (the unit-batched
+    case, which stacks them into a
+    :class:`~repro.chip.chip.CoreLanes` tensor once).
+    """
+    n_lanes = len(configs)
+    cores = list(cores)
+    if len(cores) != n_lanes:
+        raise ValueError("need one core per configuration lane")
+    if n_lanes == 0:
+        return []
+    shared = all(core is cores[0] for core in cores)
+    lanes_view = None if shared else CoreLanes.stack(cores)
+
+    step = knob_ranges.f_step
+    f_min, f_max = knob_ranges.f_min, knob_ranges.f_max
+
+    def check(lanes, freqs) -> List[EvaluatedState]:
+        node = (
+            cores[0]
+            if shared
+            else lanes_view.lane_subset(np.asarray(lanes, dtype=int))
+        )
+        return evaluate_configurations(
+            node,
+            [configs[i].with_frequency(freq) for i, freq in zip(lanes, freqs)],
+            [activities[i] for i in lanes],
+            [rhos[i] for i in lanes],
+            t_heatsink,
+            checker=checker,
+        )
+
+    f = [config.f_core for config in configs]
+    f_entry = list(f)
+    state_of: List[Optional[EvaluatedState]] = [None] * n_lanes
+    steps = [0] * n_lanes
+    viol: List[Violation] = [Violation.NONE] * n_lanes
+
+    for i, state in enumerate(check(list(range(n_lanes)), f)):
+        state_of[i] = state
+        viol[i] = state.violation(cores[i], pe_max=pe_max)
+    initial_viol = list(viol)
+
+    # Violating lanes: exponential back-off (1, 2, 4, 8... steps)...
+    move = [1] * n_lanes
+    active = [
+        i for i in range(n_lanes)
+        if viol[i] is not Violation.NONE and f[i] > f_min
+        and steps[i] < max_adjustments
+    ]
+    while active:
+        freqs = [max(f[i] - move[i] * step, f_min) for i in active]
+        for i, freq, state in zip(active, freqs, check(active, freqs)):
+            f[i] = freq
+            state_of[i] = state
+            viol[i] = state.violation(cores[i], pe_max=pe_max)
+            steps[i] += 1
+            move[i] = min(move[i] * 2, 8)
+        active = [
+            i for i in active
+            if viol[i] is not Violation.NONE and f[i] > f_min
+            and steps[i] < max_adjustments
+        ]
+    # ...then a single-step ramp back up to just below the violation.
+    active = [
+        i for i in range(n_lanes)
+        if initial_viol[i] is not Violation.NONE
+        and f[i] + step <= f_entry[i] and steps[i] < max_adjustments
+    ]
+    while active:
+        freqs = [f[i] + step for i in active]
+        advanced = []
+        for i, freq, state in zip(active, freqs, check(active, freqs)):
+            steps[i] += 1
+            if state.violation(cores[i], pe_max=pe_max) is not Violation.NONE:
+                continue  # retire at the current frequency and state
+            f[i] = freq
+            state_of[i] = state
+            advanced.append(i)
+        active = [
+            i for i in advanced
+            if f[i] + step <= f_entry[i] and steps[i] < max_adjustments
+        ]
+
+    outcome_of: List[Optional[Outcome]] = [
+        _VIOLATION_OUTCOME[initial_viol[i]]
+        if initial_viol[i] is not Violation.NONE
+        else None
+        for i in range(n_lanes)
+    ]
+
+    # No-violation lanes: probe one step up; NoChange if it immediately
+    # violates, otherwise keep ramping toward f_max (LowFreq).
+    no_violation = [
+        i for i in range(n_lanes) if initial_viol[i] is Violation.NONE
+    ]
+    if no_violation:
+        probes = [min(f[i] + step, f_max) for i in no_violation]
+        ramp = []
+        for i, freq, state in zip(
+            no_violation, probes, check(no_violation, probes)
+        ):
+            steps[i] += 1
+            if (
+                state.violation(cores[i], pe_max=pe_max) is not Violation.NONE
+                or f[i] + step > f_max
+            ):
+                outcome_of[i] = Outcome.NO_CHANGE
+                continue
+            f[i] = freq
+            state_of[i] = state
+            outcome_of[i] = Outcome.LOW_FREQ
+            ramp.append(i)
+        active = [
+            i for i in ramp
+            if f[i] + step <= f_max and steps[i] < max_adjustments
+        ]
+        while active:
+            freqs = [f[i] + step for i in active]
+            advanced = []
+            for i, freq, state in zip(active, freqs, check(active, freqs)):
+                steps[i] += 1
+                if (
+                    state.violation(cores[i], pe_max=pe_max)
+                    is not Violation.NONE
+                ):
+                    continue
+                f[i] = freq
+                state_of[i] = state
+                advanced.append(i)
+            active = [
+                i for i in advanced
+                if f[i] + step <= f_max and steps[i] < max_adjustments
+            ]
+
+    return [
+        RetuningResult(
+            config=configs[i].with_frequency(f[i]),
+            state=state_of[i],
+            outcome=outcome_of[i],
+            initial_violation=initial_viol[i],
+            f_initial=f_entry[i],
+            steps=steps[i],
+        )
+        for i in range(n_lanes)
+    ]

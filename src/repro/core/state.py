@@ -12,10 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import get_backend
 from ..chip.chip import Core
 from ..mitigation.base import TechniqueState
 from ..thermal.solver import solve_temperatures, solve_temperatures_lanes
@@ -170,24 +171,45 @@ def evaluate_configurations(
     error-rate evaluation.  The physics is elementwise per subsystem, so
     each returned :class:`EvaluatedState` equals what
     :func:`evaluate_configuration` computes for that lane alone.
+
+    ``core`` may be a single :class:`Core` (all lanes share its physics)
+    or a :class:`~repro.chip.chip.CoreLanes` population whose lane axis
+    matches ``configs`` — the population-tier batched paths use the
+    latter to settle every (chip, core) unit of a block in one pass.
+    Array assembly routes through the active
+    :mod:`repro.backend` namespace so a cupy/jax backend batches the
+    same program on device memory.
     """
+    xp = get_backend().xp
     calib = core.calib
     th = calib.t_heatsink_max if t_heatsink is None else t_heatsink
-    power_factors = np.stack(
-        [config.technique.power_factors(core) for config in configs]
-    )
-    modifiers = [config.technique.stage_modifiers(core) for config in configs]
+    # Technique states repeat heavily across lanes (a handful of
+    # distinct states per batch); build each one's modifier rows once
+    # and let the stack copy them per lane.
+    rows: Dict[TechniqueState, Tuple[np.ndarray, np.ndarray, np.ndarray]]
+    rows = {}
+    for config in configs:
+        technique = config.technique
+        if technique not in rows:
+            modifiers = technique.stage_modifiers(core)
+            rows[technique] = (
+                technique.power_factors(core),
+                modifiers.delay_scale,
+                modifiers.sigma_scale,
+            )
+    lanes = [rows[config.technique] for config in configs]
+    power_factors = xp.stack([pf for pf, _, _ in lanes])
     stacked_modifiers = StageModifiers(
-        delay_scale=np.stack([m.delay_scale for m in modifiers]),
-        sigma_scale=np.stack([m.sigma_scale for m in modifiers]),
+        delay_scale=xp.stack([ds for _, ds, _ in lanes]),
+        sigma_scale=xp.stack([ss for _, _, ss in lanes]),
     )
-    activity = np.stack(
-        [np.asarray(a, dtype=float) for a in activities]
+    activity = xp.stack(
+        [xp.asarray(a, dtype=float) for a in activities]
     ) * power_factors
-    rho = np.stack([np.asarray(r, dtype=float) for r in rhos])
-    freq = np.array([config.f_core for config in configs])[:, None]
-    vdd = np.stack([config.vdd for config in configs])
-    vbb = np.stack([config.vbb for config in configs])
+    rho = xp.stack([xp.asarray(r, dtype=float) for r in rhos])
+    freq = xp.asarray([config.f_core for config in configs], dtype=float)[:, None]
+    vdd = xp.stack([config.vdd for config in configs])
+    vbb = xp.stack([config.vbb for config in configs])
 
     solution = solve_temperatures_lanes(core, vdd, vbb, freq, activity, th)
     p_static = solution.p_static * power_factors

@@ -21,7 +21,7 @@ adapting at phase boundaries has negligible overhead (stable phases are
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from ..microarch.phases import PhaseDetector, PhaseInstance
 from ..microarch.pipeline import DEFAULT_CORE_CONFIG, CoreConfig
 from ..microarch.simulator import measure_workload
 from ..mitigation.base import TechniqueState
-from .adaptation import AdaptationResult, optimize_phase
+from .adaptation import AdaptationResult, optimize_phase, optimize_units_batched
 from .environments import AdaptationMode, Environment
 
 
@@ -182,3 +182,114 @@ def run_timeline(
             )
         )
     return result
+
+
+def run_timelines_batched(
+    cores: Sequence[Core],
+    env: Environment,
+    phase_stream: List[PhaseInstance],
+    mode: AdaptationMode = AdaptationMode.EXH_DYN,
+    bank=None,
+    costs: TimelineCosts = TimelineCosts(),
+    novar_perf: Optional[Dict[str, float]] = None,
+    detectors: Optional[Sequence[Optional[PhaseDetector]]] = None,
+    seed: Union[int, Sequence[int]] = 0,
+    core_config: CoreConfig = DEFAULT_CORE_CONFIG,
+) -> List[TimelineResult]:
+    """Advance the adaptation timeline of many cores in lockstep.
+
+    Each lane (core) executes the same phase stream :func:`run_timeline`
+    would give it alone — its own BBV-noise RNG stream (``seed`` may be
+    one shared seed or one per lane), its own phase detector and its own
+    saved-configuration table — but the per-step controller runs of all
+    lanes that hit a *new* phase at that step are batched into a single
+    :func:`~repro.core.adaptation.optimize_units_batched` program.
+    Results are bit-identical per lane, RNG streams included, because
+    lane state never crosses lanes: only the adaptation math is grouped.
+    """
+    n_lanes = len(cores)
+    seeds = (
+        list(seed) if isinstance(seed, (list, tuple)) else [seed] * n_lanes
+    )
+    if len(seeds) != n_lanes:
+        raise ValueError("need one seed per core lane")
+    lane_detectors = [
+        (detectors[i] if detectors is not None else None) or PhaseDetector()
+        for i in range(n_lanes)
+    ]
+    rngs = [np.random.default_rng(s) for s in seeds]
+    saved: List[Dict[int, AdaptationResult]] = [{} for _ in range(n_lanes)]
+    results = [TimelineResult() for _ in range(n_lanes)]
+
+    for phase in phase_stream:
+        technique = TechniqueState(domain=phase.profile.domain)
+        base_cfg = technique.core_config(core_config, replication_built=env.fu)
+
+        detected_of = []
+        reuse_of = []
+        for lane in range(n_lanes):
+            event_bbv = phase.sample_bbv(rngs[lane])
+            detected = lane_detectors[lane].observe(event_bbv)
+            detected_of.append(detected)
+            reuse_of.append(
+                detected.phase_id in saved[lane] and not detected.is_new
+            )
+
+        adapting = [lane for lane in range(n_lanes) if not reuse_of[lane]]
+        if adapting:
+            # The measurement is per (profile, config), not per core, so
+            # the first lane computes and the rest hit the cache.
+            meas_full = measure_workload(phase.profile, base_cfg)
+            meas_resized = None
+            if env.queue:
+                meas_resized = measure_workload(
+                    phase.profile,
+                    base_cfg.with_resized_queue(phase.profile.domain),
+                )
+            decisions = optimize_units_batched(
+                [(cores[lane], [(meas_full, meas_resized)]) for lane in adapting],
+                env,
+                mode=mode,
+                bank=bank,
+            )
+            for lane, unit_results in zip(adapting, decisions):
+                saved[lane][detected_of[lane].phase_id] = unit_results[0]
+
+        duration_s = phase.duration_ms * 1e-3
+        for lane in range(n_lanes):
+            core = cores[lane]
+            decision = saved[lane][detected_of[lane].phase_id]
+            if reuse_of[lane]:
+                overhead_s = costs.transition
+            else:
+                overhead_s = (
+                    costs.activity_measurement
+                    + costs.controller_run
+                    + costs.transition
+                )
+            f_nominal = core.calib.f_nominal
+            if novar_perf and phase.spec.name in novar_perf:
+                perf_rel = (
+                    decision.performance_ips / novar_perf[phase.spec.name]
+                )
+            else:
+                nominal = f_nominal / (
+                    decision.measurement.cpi_comp
+                    + decision.measurement.l2_miss_rate
+                    * f_nominal
+                    * core.calib.memory_latency_seconds
+                    * decision.measurement.overlap_factor
+                )
+                perf_rel = decision.performance_ips / nominal
+            results[lane].events.append(
+                TimelineEvent(
+                    phase_name=phase.spec.name,
+                    detector_phase_id=detected_of[lane].phase_id,
+                    duration_ms=phase.duration_ms,
+                    reused_saved_config=reuse_of[lane],
+                    f_rel=decision.f_core / f_nominal,
+                    perf_rel=float(perf_rel),
+                    overhead_fraction=min(1.0, overhead_s / duration_s),
+                )
+            )
+    return results

@@ -111,6 +111,62 @@ def run_unit_guarded(
         ) from exc
 
 
+def run_units_guarded(
+    runner,
+    env: Environment,
+    mode: AdaptationMode,
+    units: Sequence[Tuple[int, int]],
+    workloads=None,
+    bank=None,
+):
+    """Run a same-cell block of units, failures precisely attributed.
+
+    The block goes through the population-batched path
+    (:meth:`~repro.exps.runner.ExperimentRunner.run_units_batched`);
+    any failure degrades to the per-unit serial loop — bit-identical by
+    construction — so the :class:`UnitExecutionError` finally raised
+    names the exact (chip, core) unit that is broken, not the block.
+    """
+    units = list(units)
+    if runner.batch_units and units:
+        try:
+            return runner.run_units_batched(
+                env, mode, units, workloads, bank=bank
+            )
+        except Exception:
+            log.warning(
+                "batched unit block (env=%s, mode=%s, %d units) failed; "
+                "retrying serially",
+                env.name, mode.value, len(units), exc_info=True,
+            )
+    return [
+        run_unit_guarded(
+            runner, env, mode, chip_index, core_index, workloads, bank=bank
+        )
+        for chip_index, core_index in units
+    ]
+
+
+def _chunk_units(
+    units: Sequence[Tuple[int, int]], n_blocks: int
+) -> List[List[Tuple[int, int]]]:
+    """Split a cell's units into at most ``n_blocks`` contiguous blocks.
+
+    Contiguity matters: concatenating block results in block order must
+    reproduce the serial unit order exactly.
+    """
+    units = list(units)
+    n_blocks = max(1, min(n_blocks, len(units)))
+    size, extra = divmod(len(units), n_blocks)
+    chunks = []
+    start = 0
+    for index in range(n_blocks):
+        end = start + size + (1 if index < extra else 0)
+        chunks.append(units[start:end])
+        start = end
+    return chunks
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One experiment campaign: a grid of (environment, mode) cells.
@@ -223,7 +279,7 @@ _WORKER_SHM = None
 
 def _init_worker(
     config, calib, core_config, workloads, cache_root, bank_cache_root,
-    obs_enabled, batch_phases=True, shm_handle=None,
+    obs_enabled, batch_phases=True, batch_units=True, shm_handle=None,
 ) -> None:
     """Build this worker's private runner (population, cores, caches).
 
@@ -275,6 +331,7 @@ def _init_worker(
         core_config=core_config,
         cache=cache,
         batch_phases=batch_phases,
+        batch_units=batch_units,
         population=population,
     )
 
@@ -291,6 +348,37 @@ def _run_unit(env, mode, chip_index, core_index):
         bank = _WORKER_RUNNER.bank_for(env, cache=_WORKER_BANK_CACHE)
     rows = _WORKER_RUNNER.run_unit(env, mode, chip_index, core_index, bank=bank)
     return [row.to_dict() for row in rows], obs.metrics_registry().drain()
+
+
+def _run_unit_block(env, mode, units):
+    """Run one contiguous block of same-cell units in a pool worker.
+
+    The block rides the population-batched path; a batched failure
+    degrades to the bit-identical per-unit loop inside the worker (plain
+    exceptions only — :class:`UnitExecutionError` never crosses the
+    process boundary, the parent re-wraps).  Returns each unit's record
+    dicts, in unit order, plus the worker's metric delta.
+    """
+    bank = None
+    if mode is AdaptationMode.FUZZY_DYN and _WORKER_BANK_CACHE is not None:
+        bank = _WORKER_RUNNER.bank_for(env, cache=_WORKER_BANK_CACHE)
+    units = list(units)
+    try:
+        unit_rows = _WORKER_RUNNER.run_units_batched(env, mode, units, bank=bank)
+    except Exception:
+        log.warning(
+            "batched unit block (env=%s, mode=%s, %d units) failed in "
+            "worker; retrying serially",
+            env.name, mode.value, len(units), exc_info=True,
+        )
+        unit_rows = [
+            _WORKER_RUNNER.run_unit(env, mode, chip_index, core_index, bank=bank)
+            for chip_index, core_index in units
+        ]
+    return (
+        [[row.to_dict() for row in rows] for rows in unit_rows],
+        obs.metrics_registry().drain(),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -384,15 +472,22 @@ def execute(runner, spec: RunSpec) -> RunResult:
                 obs.inc("variation.factor.hits", 0.0)
                 obs.inc("variation.factor.misses", 0.0)
                 per_cell: Dict[Tuple[str, str], List[PhaseResult]] = {}
-                for env, mode, chip_index, core_index in iter_units(
-                    [(env, mode) for env, mode, _ in pending],
-                    runner.config.n_chips,
-                    runner.config.cores_per_chip,
-                ):
-                    rows = run_unit_guarded(
-                        runner, env, mode, chip_index, core_index, workloads
+                for env, mode, _ in pending:
+                    # One block per cell: all of its (chip, core) units
+                    # advance through one population-batched program
+                    # (per-unit loop when ``runner.batch_units`` is off).
+                    cell_units = [
+                        (chip_index, core_index)
+                        for chip_index in range(runner.config.n_chips)
+                        for core_index in range(runner.config.cores_per_chip)
+                    ]
+                    unit_rows = run_units_guarded(
+                        runner, env, mode, cell_units, workloads
                     )
-                    per_cell.setdefault((env.name, mode.value), []).extend(rows)
+                    for rows in unit_rows:
+                        per_cell.setdefault(
+                            (env.name, mode.value), []
+                        ).extend(rows)
                 computed = {
                     cell: summarise(rows) for cell, rows in per_cell.items()
                 }
@@ -454,6 +549,7 @@ class SupervisedExecutor:
                 str(transport.root),
                 obs.enabled(),
                 runner.batch_phases,
+                runner.batch_units,
                 shm_handle,
             ),
         )
@@ -494,6 +590,44 @@ class SupervisedExecutor:
             campaign.merge_dict(metrics_delta)
         return unit_rows
 
+    def run_unit_blocks(
+        self,
+        blocks: Sequence[
+            Tuple[Environment, AdaptationMode, Sequence[Tuple[int, int]]]
+        ],
+        campaign: obs.MetricsRegistry,
+    ) -> List[List[List["PhaseResult"]]]:
+        """Execute unit blocks concurrently; per-unit rows, in order.
+
+        A failing block is reported as a :class:`UnitExecutionError`
+        naming the block's first unit (the worker already logged — and
+        serially retried — the precise unit before giving up).
+        """
+        from .runner import PhaseResult
+
+        futures = {
+            self._pool.submit(_run_unit_block, env, mode, tuple(units)): index
+            for index, (env, mode, units) in enumerate(blocks)
+        }
+        block_rows: List[Optional[List[List[PhaseResult]]]] = (
+            [None] * len(blocks)
+        )
+        for future, index in futures.items():
+            env, mode, units = blocks[index]
+            try:
+                unit_records, metrics_delta = future.result()
+            except Exception as exc:
+                chip_index, core_index = units[0]
+                raise UnitExecutionError(
+                    env.name, mode.value, chip_index, core_index, cause=exc
+                ) from exc
+            block_rows[index] = [
+                [PhaseResult.from_dict(record) for record in records]
+                for records in unit_records
+            ]
+            campaign.merge_dict(metrics_delta)
+        return block_rows
+
 
 def _execute_parallel(
     runner,
@@ -530,16 +664,41 @@ def _execute_parallel(
         # Honour the requested parallelism (the caller knows the machine);
         # never spin up more workers than there are units to run.
         max_workers = min(spec.parallelism, len(units))
-        log.debug("sharding %d units across %d workers", len(units), max_workers)
+        # Each cell's unit list is cut into contiguous blocks — one per
+        # worker when population batching is on, one per unit when it is
+        # off — so every worker amortises its share of the population
+        # into one batched program.  Blocks are generated (and their
+        # results concatenated) in cell-then-unit order, which is what
+        # keeps parallel results bit-identical to the serial loop.
+        blocks: List[
+            Tuple[Environment, AdaptationMode, List[Tuple[int, int]]]
+        ] = []
+        for env, mode, _ in pending:
+            cell_units = [
+                (chip_index, core_index)
+                for chip_index in range(runner.config.n_chips)
+                for core_index in range(runner.config.cores_per_chip)
+            ]
+            if runner.batch_units:
+                chunks = _chunk_units(cell_units, max_workers)
+            else:
+                chunks = [[unit] for unit in cell_units]
+            for chunk in chunks:
+                blocks.append((env, mode, chunk))
+        log.debug(
+            "sharding %d units (%d blocks) across %d workers",
+            len(units), len(blocks), max_workers,
+        )
         with SupervisedExecutor(
             runner, workloads, cache, transport, max_workers,
             shm_handle=shared.handle if shared is not None else None,
         ) as pool:
-            unit_rows = pool.run_units(units, campaign)
+            block_rows = pool.run_unit_blocks(blocks, campaign)
 
         per_cell: Dict[Tuple[str, str], List["PhaseResult"]] = {}
-        for (env, mode, _chip, _core), rows in zip(units, unit_rows):
-            per_cell.setdefault((env.name, mode.value), []).extend(rows)
+        for (env, mode, _units), unit_rows in zip(blocks, block_rows):
+            for rows in unit_rows:
+                per_cell.setdefault((env.name, mode.value), []).extend(rows)
         return {cell: summarise(rows) for cell, rows in per_cell.items()}
     finally:
         if shared is not None:

@@ -40,6 +40,7 @@ from ..core.adaptation import (
     evaluate_at_fixed_config,
     optimize_phase,
     optimize_phases_batched,
+    optimize_units_batched,
 )
 from ..core.environments import (
     NOVAR,
@@ -52,7 +53,7 @@ from ..microarch.pipeline import DEFAULT_CORE_CONFIG, CoreConfig
 from ..microarch.simulator import (
     WorkloadMeasurement,
     _profile_key,
-    measure_workload,
+    measure_suite_batched,
 )
 from ..microarch.workloads import WorkloadProfile, spec2000_like_suite
 from ..mitigation.base import TechniqueState
@@ -221,6 +222,7 @@ class ExperimentRunner:
         *,
         cache: Optional[ExperimentCache] = None,
         batch_phases: bool = True,
+        batch_units: bool = True,
         population: Optional[Sequence[ChipSample]] = None,
     ):
         self.config = config
@@ -233,6 +235,10 @@ class ExperimentRunner:
         # per-phase loop, so it deliberately lives outside RunnerConfig
         # (whose fields are hashed into summary cache keys).
         self.batch_phases = bool(batch_phases)
+        # Same contract, one tier up: whole (chip, core) unit blocks run
+        # as one tensor program (``run_units_batched``), bit-identical to
+        # the per-unit loop.
+        self.batch_units = bool(batch_units)
         if cache is not None:
             # Give the process-wide factor memo durable storage, so a
             # cold process (or pool worker) loads the Cholesky factor
@@ -281,6 +287,7 @@ class ExperimentRunner:
             config=RunnerConfig.from_settings(settings),
             cache=settings.build_cache(),
             batch_phases=settings.batch_phases,
+            batch_units=settings.batch_units,
         )
         fields.update(overrides)
         return cls(**fields)
@@ -343,35 +350,61 @@ class ExperimentRunner:
             return cached
         technique = TechniqueState(domain=profile.domain)
         base = technique.core_config(self.core_config, replication_built=env.fu)
-        full = self._measure(profile, base)
-        resized = None
+        requests = [(profile, base)]
         if env.queue:
-            resized = self._measure(profile, base.with_resized_queue(profile.domain))
+            requests.append((profile, base.with_resized_queue(profile.domain)))
+        measured = self._measure_batch(requests)
+        full = measured[0]
+        resized = measured[1] if env.queue else None
         self._measurements[memo_key] = (full, resized)
         return full, resized
+
+    def _measure_batch(
+        self, requests: Sequence[Tuple[WorkloadProfile, CoreConfig]]
+    ) -> List[WorkloadMeasurement]:
+        """Measure many (profile, config) pairs, through the disk cache.
+
+        Disk hits are served per request; the misses go through one
+        :func:`~repro.microarch.simulator.measure_suite_batched` call —
+        one trace walk per distinct profile, all of its configuration
+        variants advancing together — and are written back.  Results are
+        bit-identical to measuring each request on its own.
+        """
+        out: List[Optional[WorkloadMeasurement]] = [None] * len(requests)
+        missing: List[int] = []
+        keys: Dict[int, str] = {}
+        for index, (profile, config) in enumerate(requests):
+            if self.cache is not None:
+                key = measurement_key(
+                    self.calib,
+                    profile,
+                    config,
+                    self.config.n_instructions,
+                    self.config.seed,
+                )
+                keys[index] = key
+                hit = self.cache.load_measurement(key)
+                if hit is not None:
+                    out[index] = hit
+                    continue
+            missing.append(index)
+        if missing:
+            measured = measure_suite_batched(
+                [requests[index] for index in missing],
+                self.config.n_instructions,
+                self.config.seed,
+            )
+            for index, meas in zip(missing, measured):
+                out[index] = meas
+                if self.cache is not None:
+                    self.cache.save_measurement(keys[index], meas)
+        return out
 
     def _measure(
         self, profile: WorkloadProfile, config: CoreConfig
     ) -> WorkloadMeasurement:
         """One measurement, through the disk cache when configured."""
-        key = None
-        if self.cache is not None:
-            key = measurement_key(
-                self.calib,
-                profile,
-                config,
-                self.config.n_instructions,
-                self.config.seed,
-            )
-            hit = self.cache.load_measurement(key)
-            if hit is not None:
-                return hit
-        meas = measure_workload(
-            profile, config, self.config.n_instructions, self.config.seed
-        )
-        if self.cache is not None:
-            self.cache.save_measurement(key, meas)
-        return meas
+        return self._measure_batch([(profile, config)])[0]
 
     def bank_for(
         self, env: Environment, cache: Optional[ExperimentCache] = None
@@ -553,6 +586,78 @@ class ExperimentRunner:
             for (workload, profile, weight, _, _), result in zip(
                 entries, adapted
             )
+        ]
+
+    def run_units_batched(
+        self,
+        env: Environment,
+        mode: AdaptationMode,
+        units: Sequence[Tuple[int, int]],
+        workloads: Optional[Sequence[WorkloadProfile]] = None,
+        bank: Optional[ControllerBank] = None,
+        *,
+        batch_units: Optional[bool] = None,
+    ) -> List[List[PhaseResult]]:
+        """Run a block of same-cell ``(chip, core)`` units as one program.
+
+        The population tier of the lane-axis idiom: every unit of the
+        block contributes its phase lanes to a single stack, and one
+        :func:`~repro.core.adaptation.optimize_units_batched` call
+        adapts all of them — the retuning rounds, thermal solves and
+        error-rate evaluations of the whole population amortise into a
+        handful of array ops.  Per-unit rows come back in unit order and
+        are bit-identical to calling :meth:`run_unit` per unit.
+
+        ``batch_units`` (default: the runner's setting, i.e. the
+        ``--serial-units`` / ``EVAL_REPRO_SERIAL_UNITS`` opt-out) routes
+        through the per-unit loop instead; so does Static mode, which
+        has nothing to batch.  Single-unit blocks stay on the batched
+        path on purpose: the metric structure a run emits must depend
+        on the strategy knob, never on how the engine happened to chunk
+        units across workers (``tests/test_obs.py`` pins serial ==
+        parallel structure).
+        """
+        units = [(int(chip), int(core)) for chip, core in units]
+        workloads = list(workloads) if workloads is not None else self.workloads
+        use_batch = (
+            self.batch_units if batch_units is None else bool(batch_units)
+        )
+        if (
+            not use_batch
+            or not units
+            or mode not in (AdaptationMode.EXH_DYN, AdaptationMode.FUZZY_DYN)
+        ):
+            return [
+                self.run_unit(env, mode, chip, core, workloads, bank=bank)
+                for chip, core in units
+            ]
+        with obs.span("engine.units_batched", env=env.name, mode=mode.value,
+                      units=len(units)):
+            obs.inc("engine.batched_units", float(len(units)))
+            cores = [self.core(chip, core) for chip, core in units]
+            if mode is AdaptationMode.FUZZY_DYN and bank is None:
+                bank = self.bank_for(env)
+            entries = []
+            for workload in workloads:
+                for profile, weight in self.phase_profiles(workload):
+                    meas_full, meas_resized = self.measurements(profile, env)
+                    entries.append(
+                        (workload, profile, weight, meas_full, meas_resized)
+                    )
+            pairs = [(full, resized) for _, _, _, full, resized in entries]
+            adapted = optimize_units_batched(
+                [(core, pairs) for core in cores], env, mode=mode, bank=bank
+            )
+        return [
+            [
+                self._to_phase_result(
+                    core, env, mode, workload, profile, weight, result
+                )
+                for (workload, profile, weight, _, _), result in zip(
+                    entries, unit_results
+                )
+            ]
+            for core, unit_results in zip(cores, adapted)
         ]
 
     def novar_summary(

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -314,3 +314,204 @@ def simulate(
         int_queue_waits=int_queue_waits,
         fp_queue_waits=fp_queue_waits,
     )
+
+
+class _PipelineState:
+    """Mutable machine state of one :func:`simulate_batch` variant.
+
+    Exactly the loop-carried state of :func:`simulate`, hoisted into an
+    object so K variants can advance through one shared trace walk.
+    """
+
+    __slots__ = (
+        "config", "suppress", "exec_latency", "fu_free", "queue_size",
+        "queue_issue_log", "completion", "retire_log", "issued_in_cycle",
+        "fetched_in_cycle", "fetch_ready", "l1_misses", "l2_misses",
+        "branch_flushes", "int_queue_waits", "fp_queue_waits", "frontend",
+    )
+
+    def __init__(self, n: int, config: CoreConfig, suppress: bool):
+        self.config = config
+        self.suppress = suppress
+        self.exec_latency = {
+            int(Uop.INT_ALU): 1,
+            int(Uop.BRANCH): 1,
+            int(Uop.INT_MUL): 3,
+            int(Uop.FP_ADD): 4,
+            int(Uop.FP_MUL): 4,
+            int(Uop.STORE): 1,
+            int(Uop.LOAD): config.l1_latency,
+        }
+        self.fu_free = {
+            "int_alu": [0] * config.n_int_alu,
+            "int_mul": [0] * config.n_int_mul,
+            "fp_add": [0] * config.n_fp_add,
+            "fp_mul": [0] * config.n_fp_mul,
+            "mem": [0] * config.n_mem_ports,
+        }
+        self.queue_size = {
+            "int": config.int_queue_size,
+            "fp": config.fp_queue_size,
+            "mem": config.mem_queue_size,
+        }
+        self.queue_issue_log: Dict[str, list] = {"int": [], "fp": [], "mem": []}
+        self.completion = [0] * n
+        self.retire_log: list = []
+        self.issued_in_cycle: Dict[int, int] = defaultdict(int)
+        self.fetched_in_cycle: Dict[int, int] = defaultdict(int)
+        self.fetch_ready = 0
+        self.l1_misses = self.l2_misses = self.branch_flushes = 0
+        self.int_queue_waits = self.fp_queue_waits = 0
+        self.frontend = config.frontend_depth + config.extra_exec_stage
+
+
+def simulate_batch(
+    trace: SyntheticTrace,
+    variants: Sequence[Tuple[CoreConfig, bool]],
+) -> List[SimResult]:
+    """Run K independent ``(config, suppress_l2_misses)`` variants in one
+    trace walk.
+
+    The per-instruction trace reads (kind, dependence distances, miss and
+    misprediction flags) are shared across all variants — the point of
+    batching this interpreter-bound model — while each variant advances
+    its own machine state through exactly the :func:`simulate` loop body.
+    The model is pure integer arithmetic, so ``simulate_batch(trace,
+    [(c, s), ...])[k] == simulate(trace, c_k, suppress_l2_misses=s_k)``
+    holds bit-for-bit; the golden suite asserts it.
+    """
+    if not variants:
+        return []
+    n = len(trace)
+    kinds = trace.kinds.tolist()
+    dep1 = trace.dep1.tolist()
+    dep2 = trace.dep2.tolist()
+    branch_misp = trace.branch_mispredict.tolist()
+    l1_miss = trace.l1_miss.tolist()
+    l2_miss = trace.l2_miss.tolist()
+    icache_miss = trace.icache_miss.tolist()
+
+    states = [
+        _PipelineState(n, config, suppress) for config, suppress in variants
+    ]
+    load = int(Uop.LOAD)
+    store = int(Uop.STORE)
+    branch = int(Uop.BRANCH)
+    kind_counts: Dict[int, int] = defaultdict(int)
+
+    for i in range(n):
+        kind = kinds[i]
+        kind_counts[kind] += 1
+        d1 = dep1[i]
+        d2 = dep2[i]
+        qname = _QUEUE_OF[kind]
+        group = _FU_GROUP[kind]
+        icm = icache_miss[i]
+        is_mem = kind == load or kind == store
+        misses_l1 = is_mem and l1_miss[i]
+        misses_l2 = misses_l1 and l2_miss[i]
+        flushes = kind == branch and branch_misp[i]
+
+        for s in states:
+            config = s.config
+
+            # ---------------- fetch ----------------
+            t_fetch = s.fetch_ready
+            if icm:
+                t_fetch += config.l2_latency
+            fetched = s.fetched_in_cycle
+            while fetched[t_fetch] >= config.fetch_width:
+                t_fetch += 1
+            fetched[t_fetch] += 1
+            s.fetch_ready = t_fetch
+
+            # ---------------- dispatch (rename + queue entry) ----------
+            dispatch = t_fetch + s.frontend
+            if i >= config.rob_size:
+                dispatch = max(dispatch, s.retire_log[i - config.rob_size])
+            log = s.queue_issue_log[qname]
+            qsize = s.queue_size[qname]
+            if len(log) >= qsize:
+                blocker = log[len(log) - qsize]
+                if blocker > dispatch:
+                    dispatch = blocker
+                    if qname == "int":
+                        s.int_queue_waits += 1
+                    elif qname == "fp":
+                        s.fp_queue_waits += 1
+
+            # ---------------- issue ----------------
+            ready = dispatch
+            completion = s.completion
+            if d1:
+                ready = max(ready, completion[i - d1])
+            if d2:
+                ready = max(ready, completion[i - d2])
+            units = s.fu_free[group]
+            issued = s.issued_in_cycle
+            t_issue = ready
+            while True:
+                while issued[t_issue] >= config.issue_width:
+                    t_issue += 1
+                unit = min(range(len(units)), key=units.__getitem__)
+                if units[unit] > t_issue:
+                    t_issue = units[unit]
+                    continue
+                break
+            issued[t_issue] += 1
+            units[unit] = t_issue + 1
+            log.append(t_issue)
+
+            # ---------------- execute / memory ----------------
+            latency = s.exec_latency[kind]
+            if misses_l1:
+                s.l1_misses += 1
+                covered = (
+                    config.prefetch_accuracy > 0.0
+                    and (i * 2654435761) % 1000
+                    < config.prefetch_accuracy * 1000
+                )
+                if misses_l2 and not s.suppress and not covered:
+                    s.l2_misses += 1
+                    latency += config.mem_latency
+                else:
+                    latency += config.l2_latency
+            completion[i] = t_issue + latency
+
+            # ---------------- retire (in order) ----------------
+            t_retire = completion[i]
+            retire_log = s.retire_log
+            if retire_log:
+                t_retire = max(t_retire, retire_log[-1])
+                if len(retire_log) >= config.retire_width:
+                    t_retire = max(
+                        t_retire,
+                        retire_log[len(retire_log) - config.retire_width] + 1,
+                    )
+            retire_log.append(t_retire)
+
+            # ---------------- branch misprediction ----------------
+            if flushes:
+                s.branch_flushes += 1
+                redirect = (
+                    completion[i]
+                    + config.branch_penalty
+                    + config.extra_exec_stage
+                )
+                if redirect > s.fetch_ready:
+                    s.fetch_ready = redirect
+
+    counts = dict(kind_counts)
+    return [
+        SimResult(
+            instructions=n,
+            cycles=int(s.retire_log[-1]) + 1,
+            kind_counts=dict(counts),
+            l1_misses=s.l1_misses,
+            l2_misses=s.l2_misses,
+            branch_flushes=s.branch_flushes,
+            int_queue_waits=s.int_queue_waits,
+            fp_queue_waits=s.fp_queue_waits,
+        )
+        for s in states
+    ]

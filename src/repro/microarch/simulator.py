@@ -7,18 +7,28 @@ activity factors.  This module runs the pipeline model (twice: once as-is
 and once with L2 misses suppressed, to split computation from memory
 stalls) and caches results, since the same measurements are reused across
 the 100-chip Monte Carlo population.
+
+The in-process cache is a bounded LRU keyed on the profile's canonical
+:meth:`~repro.microarch.workloads.WorkloadProfile.content_hash`, so
+structurally identical profiles — suite members, inline specs, evolved
+workloads — share entries regardless of how they were constructed, and a
+long campaign over generated workloads cannot grow the cache without
+bound.  ``microarch.cache.{hits,misses,evictions}`` counters expose its
+behaviour.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..chip.floorplan import Floorplan, default_floorplan
 from .activity import activity_factors, rho_vector
-from .pipeline import DEFAULT_CORE_CONFIG, CoreConfig, simulate
+from .pipeline import DEFAULT_CORE_CONFIG, CoreConfig, simulate, simulate_batch
 from .trace import generate_trace
 from .workloads import WorkloadProfile
 
@@ -43,19 +53,24 @@ class WorkloadMeasurement:
             raise ValueError("cpi_comp must be positive")
 
 
-def _profile_key(profile: WorkloadProfile) -> Tuple:
-    return (
-        profile.name,
-        profile.phases[0].name if profile.phases else "",
-        profile.dep_mean_distance,
-        profile.branch_misp_rate,
-        profile.l1d_miss_rate,
-        profile.l2_miss_rate,
-        tuple(sorted((int(k), v) for k, v in profile.mix.items())),
-    )
+def _profile_key(profile: WorkloadProfile) -> str:
+    """Cache identity of a profile: its canonical content hash.
+
+    Hashing the wire document (rather than an ad-hoc field tuple) means
+    equal-content profiles alias the same entry wherever they came from,
+    and a future profile field can never be silently dropped from the
+    key — ``to_wire`` is the single canonical serialisation.
+    """
+    return profile.content_hash()
 
 
-_CACHE: Dict[Tuple, WorkloadMeasurement] = {}
+#: LRU capacity of the measurement cache (entries, not bytes).  Large
+#: enough for every (workload-phase, config) pair of a figure-10 style
+#: campaign; small enough that generated-workload sweeps stay bounded.
+MEASUREMENT_CACHE_CAPACITY = 4096
+
+_CACHE: "OrderedDict[Tuple, WorkloadMeasurement]" = OrderedDict()
+_CACHE_CAPACITY: int = MEASUREMENT_CACHE_CAPACITY
 _DEFAULT_FLOORPLAN: "list" = []
 
 
@@ -68,6 +83,49 @@ def _default_floorplan_singleton() -> Floorplan:
 def clear_measurement_cache() -> None:
     """Drop all cached measurements (used by tests)."""
     _CACHE.clear()
+
+
+def set_measurement_cache_capacity(capacity: int) -> int:
+    """Set the LRU cap (returns the previous value; tests shrink it)."""
+    global _CACHE_CAPACITY
+    if capacity < 1:
+        raise ValueError("cache capacity must be >= 1")
+    previous = _CACHE_CAPACITY
+    _CACHE_CAPACITY = int(capacity)
+    _evict()
+    return previous
+
+
+def measurement_cache_len() -> int:
+    """Current number of cached measurements."""
+    return len(_CACHE)
+
+
+def _evict() -> None:
+    evicted = 0
+    while len(_CACHE) > _CACHE_CAPACITY:
+        _CACHE.popitem(last=False)
+        evicted += 1
+    if evicted:
+        obs.inc("microarch.cache.evictions", float(evicted))
+
+
+def _cache_get(key: Tuple) -> Optional[WorkloadMeasurement]:
+    """LRU lookup; every access touches all three cache counters so the
+    serial and parallel engine paths stay structurally comparable."""
+    measurement = _CACHE.get(key)
+    if measurement is not None:
+        _CACHE.move_to_end(key)
+    obs.inc("microarch.cache.hits", 1.0 if measurement is not None else 0.0)
+    obs.inc("microarch.cache.misses", 0.0 if measurement is not None else 1.0)
+    obs.inc("microarch.cache.evictions", 0.0)
+    return measurement
+
+
+def _cache_put(key: Tuple, measurement: WorkloadMeasurement) -> None:
+    _CACHE[key] = measurement
+    _CACHE.move_to_end(key)
+    _evict()
 
 
 def measure_workload(
@@ -98,7 +156,7 @@ def measure_workload(
         seed,
         tuple(floorplan.names),
     )
-    cached = _CACHE.get(key)
+    cached = _cache_get(key)
     if cached is not None:
         return cached
 
@@ -126,8 +184,91 @@ def measure_workload(
         rho=rho_vector(trace, floorplan),
         ipc=full.ipc,
     )
-    _CACHE[key] = measurement
+    _cache_put(key, measurement)
     return measurement
+
+
+def measure_suite_batched(
+    requests: Sequence[Tuple[WorkloadProfile, CoreConfig]],
+    n_instructions: int = 12000,
+    seed: int = 0,
+    floorplan: Optional[Floorplan] = None,
+    mem_latency_cycles: Optional[int] = None,
+) -> List[WorkloadMeasurement]:
+    """Measure many (profile, config) pairs with batched trace walks.
+
+    The serial path regenerates the trace and re-runs :func:`simulate`
+    twice for every request; here each distinct profile generates its
+    trace once and all of its configuration variants (full and
+    L2-suppressed) advance through one
+    :func:`~repro.microarch.pipeline.simulate_batch` walk, with the
+    CPI/overlap extraction applied per lane afterwards.  Returns the
+    measurements in request order, bit-identical to calling
+    :func:`measure_workload` per request (the two share the LRU cache,
+    so mixing the paths is safe).
+    """
+    floorplan = floorplan or _default_floorplan_singleton()
+    floorplan_names = tuple(floorplan.names)
+    requests = list(requests)
+    out: List[Optional[WorkloadMeasurement]] = [None] * len(requests)
+    missing: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+    for index, (profile, config) in enumerate(requests):
+        key = (
+            _profile_key(profile),
+            config,
+            n_instructions,
+            seed,
+            floorplan_names,
+        )
+        cached = _cache_get(key)
+        if cached is not None:
+            out[index] = cached
+        else:
+            missing.setdefault(key, []).append(index)
+
+    # One trace per distinct profile; all of its config variants share
+    # the walk.
+    by_trace: "OrderedDict[str, List[Tuple]]" = OrderedDict()
+    for key, indices in missing.items():
+        profile, config = requests[indices[0]]
+        by_trace.setdefault(key[0], []).append((key, profile, config))
+
+    for group in by_trace.values():
+        profile = group[0][1]
+        trace = generate_trace(profile, n_instructions, seed)
+        variants: List[Tuple[CoreConfig, bool]] = []
+        for _, _, config in group:
+            variants.append((config, False))
+            variants.append((config, True))
+        sims = simulate_batch(trace, variants)
+
+        mr = trace.l2_misses_per_instruction
+        rho = rho_vector(trace, floorplan)
+        for slot, (key, prof, config) in enumerate(group):
+            full = sims[2 * slot]
+            comp = sims[2 * slot + 1]
+            latency = mem_latency_cycles or config.mem_latency
+            if mr > 0.0:
+                overlap = (full.cpi - comp.cpi) / (mr * latency)
+                overlap = float(np.clip(overlap, 0.05, 1.0))
+            else:
+                overlap = 1.0  # irrelevant: no misses
+            measurement = WorkloadMeasurement(
+                name=prof.name,
+                phase=prof.phases[0].name if prof.phases else "",
+                domain=prof.domain,
+                cpi_comp=comp.cpi,
+                cpi_total=full.cpi,
+                l2_miss_rate=mr,
+                overlap_factor=overlap,
+                activity=activity_factors(trace, full, floorplan),
+                rho=rho,
+                ipc=full.ipc,
+            )
+            _cache_put(key, measurement)
+            for index in missing[key]:
+                out[index] = measurement
+    return out
 
 
 def measure_suite(
@@ -136,8 +277,12 @@ def measure_suite(
     n_instructions: int = 12000,
     seed: int = 0,
 ):
-    """Measure a list of profiles; returns them in input order."""
-    return [
-        measure_workload(profile, config, n_instructions, seed)
-        for profile in profiles
-    ]
+    """Measure a list of profiles; returns them in input order.
+
+    Routed through :func:`measure_suite_batched` so a cold suite costs
+    one trace walk per profile instead of two simulations each; results
+    are bit-identical to the per-profile path.
+    """
+    return measure_suite_batched(
+        [(profile, config) for profile in profiles], n_instructions, seed
+    )

@@ -246,9 +246,18 @@ class WorkloadProfile:
         Stable across processes and hosts (sorted keys, repr floats), so
         two structurally identical profiles — whatever produced them —
         hash alike, and any field change (including the name) rehashes.
+
+        The digest is memoised per instance (profiles are frozen, so the
+        document cannot change): the measurement cache keys on it for
+        every lookup, and re-serialising the mix each time would put
+        ``json.dumps`` on the runner's hot path.
         """
-        document = json.dumps(self.to_wire(), sort_keys=True)
-        return hashlib.sha256(document.encode("utf-8")).hexdigest()
+        cached = self.__dict__.get("_content_hash")
+        if cached is None:
+            document = json.dumps(self.to_wire(), sort_keys=True)
+            cached = hashlib.sha256(document.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
 
 
 def _mix(

@@ -1,21 +1,26 @@
-"""Shared special functions.
+"""Shared special functions, routed through the array-backend shim.
 
 The Gaussian inverse survival function ``Qinv(p) = ndtri(1 - p)`` appears
 in three places — the timing-error model (:mod:`repro.timing.errors`),
 the optimiser's error-budget inversion (:mod:`repro.core.optimizer`) and
 the fuzzy bank's demand feature (:mod:`repro.ml.bank`) — and the forward
 survival function ``Q(z)`` sits in the innermost loop of the error-rate
-evaluation.  Importing/defining them once here keeps the SciPy dependency
-surface small, so gating or replacing either (e.g. with an erfinv-based
-fallback) is a one-file change.
+evaluation.  Defining them once here, on top of
+:func:`repro.backend.get_backend`, keeps the SciPy dependency surface
+small and makes swapping the array backend (cupy/jax) a no-op for every
+caller: they keep importing ``ndtri``/``norm_sf`` from this module.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from scipy.special import ndtr, ndtri
+from .backend import get_backend
 
 __all__ = ["ndtri", "norm_sf"]
+
+
+def ndtri(q):
+    """Inverse standard normal CDF via the active array backend."""
+    return get_backend().ndtri(q)
 
 
 def norm_sf(z):
@@ -28,4 +33,5 @@ def norm_sf(z):
     dominates for the small arrays the optimiser sweeps (about an order
     of magnitude per call at the sizes ``stage_error_rates`` sees).
     """
-    return ndtr(np.negative(z))
+    backend = get_backend()
+    return backend.ndtr(backend.xp.negative(z))

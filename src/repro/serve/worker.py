@@ -168,10 +168,10 @@ class FleetWorker:
                     self._stop.wait(self.poll_interval)
                     continue
                 idle_since = time.monotonic()
-                for unit in units:
+                for block in self._blocks(units):
                     if self._stop.is_set():
                         break
-                    self._run_unit(unit)
+                    self._run_block(block)
         finally:
             self._stop.set()
             if self._beat_thread is not None:
@@ -208,6 +208,74 @@ class FleetWorker:
             runner, unit.env, unit.mode, unit.chip_index, unit.core_index,
             list(unit.workloads), bank=bank,
         )
+
+    @staticmethod
+    def _blocks(units: List[LeasedUnit]) -> List[List[LeasedUnit]]:
+        """Group consecutive leased units that form one batchable cell.
+
+        Units sharing (environment, mode, workloads) advance together
+        through the population-batched path; NoVar pseudo-units always
+        stand alone.  Grouping only ever merges *adjacent* leases, so
+        completion reports arrive in lease order.
+        """
+        blocks: List[List[LeasedUnit]] = []
+        key = None
+        for unit in units:
+            unit_key = (
+                None
+                if unit.chip_index == NOVAR_CHIP
+                else (unit.env.name, unit.mode.value, unit.workloads)
+            )
+            if blocks and key is not None and unit_key == key:
+                blocks[-1].append(unit)
+            else:
+                blocks.append([unit])
+            key = unit_key
+        return blocks
+
+    def _run_block(self, block: List[LeasedUnit]) -> None:
+        """Run one lease block batched, degrading to per-unit execution.
+
+        Any batched failure falls back to the per-unit loop so each unit
+        still gets its own complete/fail report — a broken unit never
+        takes its block-mates down with it.  Single-unit blocks stay on
+        the batched path (like the engine's) so the metric structure a
+        worker emits does not depend on how leases happened to chunk;
+        only NoVar pseudo-units take the dedicated summary path.
+        """
+        if len(block) == 1 and block[0].chip_index == NOVAR_CHIP:
+            self._run_unit(block[0])
+            return
+        runner = self.runner
+        assert runner is not None, "_run_block() before register()"
+        first = block[0]
+        bank = None
+        if first.mode is AdaptationMode.FUZZY_DYN:
+            bank = runner.bank_for(first.env)
+        with obs.span("worker.unit_block", units=len(block),
+                      env=first.env.name, mode=first.mode.value):
+            try:
+                unit_rows = runner.run_units_batched(
+                    first.env,
+                    first.mode,
+                    [(u.chip_index, u.core_index) for u in block],
+                    list(first.workloads),
+                    bank=bank,
+                )
+            except Exception:
+                log.warning(
+                    "batched lease block (%d units) failed; retrying "
+                    "per unit", len(block), exc_info=True,
+                )
+                for unit in block:
+                    if self._stop.is_set():
+                        return
+                    self._run_unit(unit)
+                return
+        for unit, rows in zip(block, unit_rows):
+            self.units_done += 1
+            obs.inc("worker.units_done")
+            self._report("fleet.complete", unit, rows=rows_to_wire(rows))
 
     def _run_unit(self, unit: LeasedUnit) -> None:
         with obs.span("worker.unit", unit=unit.unit_key):

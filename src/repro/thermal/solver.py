@@ -128,6 +128,11 @@ def solve_temperatures_lanes(
     lane alone.  One ``thermal.solves`` count and one
     ``thermal.iterations`` observation is recorded per lane, keeping the
     metrics comparable with the serial path.
+
+    ``core`` may also be a :class:`~repro.chip.chip.CoreLanes` whose lane
+    axis matches axis 0: each lane then evaluates against its own core's
+    parameters (the masked iterations subset the lanes view alongside the
+    state arrays).
     """
     vdd = np.asarray(vdd, dtype=float)
     vbb = np.asarray(vbb, dtype=float)
@@ -141,14 +146,19 @@ def solve_temperatures_lanes(
     vdd_b = np.broadcast_to(vdd, shape)
     vbb_b = np.broadcast_to(vbb, shape)
 
+    # A CoreLanes population subsets its parameter arrays alongside the
+    # masked state; a single Core broadcasts its (n,) arrays as before.
+    per_lane = hasattr(core, "lane_subset")
+
     temp = np.full(shape, t_heatsink + 5.0)
     iterations = np.full(n_lanes, max_iter, dtype=int)
     active = np.arange(n_lanes)
     for iteration in range(max_iter):
-        p_sta = core.subsystem_static_power(
+        node = core.lane_subset(active) if per_lane else core
+        p_sta = node.subsystem_static_power(
             vdd_b[active], vbb_b[active], temp[active]
         )
-        new_temp = t_heatsink + core.rth * (p_dyn[active] + p_sta)
+        new_temp = t_heatsink + node.rth * (p_dyn[active] + p_sta)
         new_temp = np.minimum(new_temp, T_RUNAWAY)
         delta = np.max(np.abs(new_temp - temp[active]), axis=-1)
         temp[active] = new_temp

@@ -405,13 +405,13 @@ class TestStaticMemoisation:
 
         runner = ExperimentRunner(ENGINE_CONFIG, workloads=two_workloads)
         calls = []
-        original = runner_mod.measure_workload
+        original = runner_mod.measure_suite_batched
 
-        def counting(*args, **kwargs):
-            calls.append(args[0].name)
-            return original(*args, **kwargs)
+        def counting(requests, *args, **kwargs):
+            calls.extend(profile.name for profile, _ in requests)
+            return original(requests, *args, **kwargs)
 
-        runner_mod.measure_workload = counting
+        runner_mod.measure_suite_batched = counting
         try:
             runner.run(RunSpec(environments=(TS,),
                                modes=(AdaptationMode.STATIC,),
@@ -421,7 +421,7 @@ class TestStaticMemoisation:
             # aggregation pass also needing every measurement per core.
             assert len(calls) == n_phase_profiles
         finally:
-            runner_mod.measure_workload = original
+            runner_mod.measure_suite_batched = original
 
     def test_memo_key_includes_seed(self, two_workloads):
         """Two seeds must never share a memo entry (regression).
@@ -437,13 +437,13 @@ class TestStaticMemoisation:
         runner = ExperimentRunner(ENGINE_CONFIG, workloads=two_workloads)
         profile = next(runner.phase_profiles(two_workloads[0]))[0]
         calls = []
-        original = runner_mod.measure_workload
+        original = runner_mod.measure_suite_batched
 
         def counting(*args, **kwargs):
-            calls.append(kwargs.get("seed", args[3] if len(args) > 3 else None))
+            calls.append(kwargs.get("seed", args[2] if len(args) > 2 else None))
             return original(*args, **kwargs)
 
-        runner_mod.measure_workload = counting
+        runner_mod.measure_suite_batched = counting
         try:
             runner.measurements(profile, TS)
             runner.measurements(profile, TS)  # memoised: no new call
@@ -455,7 +455,7 @@ class TestStaticMemoisation:
             assert len(calls) == 2
             assert calls[0] != calls[1]
         finally:
-            runner_mod.measure_workload = original
+            runner_mod.measure_suite_batched = original
 
 
 class TestCorruptArtifacts:
