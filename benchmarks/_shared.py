@@ -66,7 +66,9 @@ def shared_ladder():
 _BENCH_SECTIONS: Dict[str, Any] = {}
 
 #: Metric-name prefixes worth keeping in the perf-baseline file.
-_BASELINE_PREFIXES = ("optimizer.", "thermal.", "ml.", "engine.", "runner.")
+_BASELINE_PREFIXES = (
+    "optimizer.", "thermal.", "ml.", "engine.", "runner.", "kernel.",
+)
 
 
 def record_bench_section(name: str, payload: Dict[str, Any]) -> None:

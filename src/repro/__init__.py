@@ -83,7 +83,7 @@ from .obs import (
 from . import variation
 from .variation import VariationModel
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "ADAPTIVE_ENVIRONMENTS",

@@ -16,11 +16,19 @@ Selection is lazy and environment-driven::
 
 Backends other than numpy raise a clear error if their package is not
 importable — the container never grows a hard dependency on them.
+
+Besides the ``xp`` namespace, a backend resolves named *fused kernels*
+(:meth:`ArrayBackend.kernel`) for the hot physics chains — see
+:mod:`repro.kernels` for the registry, the implementation tiers
+(reference / hand-fused numpy / numba) and the bit-identity contract.
+:func:`reset_backend` also resets the kernel selection, so the pair of
+``EVAL_REPRO_BACKEND`` / ``EVAL_REPRO_KERNELS`` is re-read together.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
@@ -46,6 +54,20 @@ class ArrayBackend:
 
     def asarray(self, value: Any, **kwargs: Any) -> Any:
         return self.xp.asarray(value, **kwargs)
+
+    def kernel(self, name: str) -> Callable[..., Any]:
+        """Resolve the named fused physics kernel for this backend.
+
+        Resolution honours ``EVAL_REPRO_KERNELS`` (or a
+        :func:`repro.kernels.use_impl` override) and returns an
+        instrumented callable that records ``kernel.<name>.calls`` /
+        ``kernel.<name>.ns``.  Unknown names raise ``ValueError``
+        listing the registered kernels; requesting the numba tier
+        without numba installed raises the documented ``RuntimeError``.
+        """
+        from . import kernels
+
+        return kernels.resolve(name, backend=self.name)
 
 
 _FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
@@ -127,6 +149,13 @@ def get_backend() -> ArrayBackend:
 
 
 def reset_backend() -> None:
-    """Forget the active backend so the next call re-reads the env."""
+    """Forget the active backend so the next call re-reads the env.
+
+    Also resets the fused-kernel selection (``EVAL_REPRO_KERNELS``) so
+    both environment knobs are re-read together.
+    """
     global _ACTIVE
     _ACTIVE = None
+    kernels = sys.modules.get(__package__ + ".kernels")
+    if kernels is not None:
+        kernels.reset()

@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..backend import get_backend
 from ..calibration import DEFAULT_CALIBRATION, Calibration
 from ..circuits.delay import DEFAULT_DELAY_PARAMS, DelayParams, gate_delay
 from ..circuits.knobs import DEFAULT_VT_SENSITIVITIES, VtSensitivities, threshold_voltage
@@ -138,9 +139,15 @@ class Core:
         return delay / self._nominal_gate_delay
 
     def subsystem_static_power(self, vdd, vbb, temp):
-        """Per-subsystem leakage power in watts at an operating point."""
-        vt = self.effective_vt(vdd, vbb, temp, for_timing=False)
-        return static_power(self.ksta, vdd, temp, vt)
+        """Per-subsystem leakage power in watts at an operating point.
+
+        Routed through the fused ``vt_and_static_power`` kernel (Eq 9 +
+        Eq 8 in one pass, bit-identical to the leaf composition).
+        """
+        _, p_sta = get_backend().kernel("vt_and_static_power")(
+            self.vt0_leak, vdd, vbb, temp, self.ksta, self.vt_sens
+        )
+        return p_sta
 
     def subsystem_dynamic_power(self, vdd, freq, activity):
         """Per-subsystem dynamic power in watts (Eq 7)."""
@@ -325,8 +332,10 @@ class CoreLanes:
         return delay / self._nominal_gate_delay
 
     def subsystem_static_power(self, vdd, vbb, temp):
-        vt = self.effective_vt(vdd, vbb, temp, for_timing=False)
-        return static_power(self.ksta, vdd, temp, vt)
+        _, p_sta = get_backend().kernel("vt_and_static_power")(
+            self.vt0_leak, vdd, vbb, temp, self.ksta, self.vt_sens
+        )
+        return p_sta
 
     def subsystem_dynamic_power(self, vdd, freq, activity):
         return self.kdyn * np.asarray(activity, dtype=float) * (

@@ -62,6 +62,21 @@ def threshold_voltage(
         vbb: Body-bias voltage in volts (positive = forward bias).
         sens: Sensitivity coefficients.
     """
+    if (
+        isinstance(vt0, float)
+        and isinstance(temp, float)
+        and isinstance(vdd, float)
+        and isinstance(vbb, float)
+    ):
+        # All-scalar fast path (the serial per-phase call shape): pure
+        # IEEE double arithmetic, bit-identical to the array path,
+        # without the four asarray round-trips.
+        return (
+            vt0
+            + sens.k1 * (temp - sens.t_ref)
+            + sens.k2 * (vdd - sens.vdd_ref)
+            + sens.k3 * vbb
+        )
     vt0 = np.asarray(vt0, dtype=float)
     temp = np.asarray(temp, dtype=float)
     vdd = np.asarray(vdd, dtype=float)

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import get_backend
 from ..chip.chip import Core, CoreLanes
 from ..microarch.simulator import WorkloadMeasurement
 from ..mitigation.base import (
@@ -414,7 +415,14 @@ def _stacked_phase_arrays(
     tables stay tiny while lanes number in the hundreds — this
     construction is what lets the population-tier batch amortise
     instead of paying O(lanes) object assembly.
+
+    Array assembly routes through the active :mod:`repro.backend`
+    namespace (like ``evaluate_configurations``), so a device backend
+    stacks the same tables in device memory; the physics the stack
+    feeds — ``p_static``, the thermal fixed point, the error CDF — is
+    resolved per call through ``backend.kernel(...)``.
     """
+    xp = get_backend().xp
     first = cores[0]
     calib = first.calib
 
@@ -439,7 +447,7 @@ def _stacked_phase_arrays(
         core_index[lane] = slot
 
     def gather(field: str) -> np.ndarray:
-        table = np.stack([getattr(core, field) for core in distinct_cores])
+        table = xp.stack([getattr(core, field) for core in distinct_cores])
         return table[core_index]
 
     meas_slots: Dict[int, int] = {}
@@ -471,8 +479,8 @@ def _stacked_phase_arrays(
             sigma_rows.append(modifiers.sigma_scale)
             power_rows.append(technique.power_factors(first))
         tech_index[lane] = slot
-    delay_scale = np.stack(delay_rows)[tech_index]
-    sigma_scale = np.stack(sigma_rows)[tech_index]
+    delay_scale = xp.stack(delay_rows)[tech_index]
+    sigma_scale = xp.stack(sigma_rows)[tech_index]
 
     mean = gather("stage_mean_rel") + gather("tail_rel")
     sigma = gather("stage_sigma_rel")
@@ -484,11 +492,11 @@ def _stacked_phase_arrays(
 
     arrays = {name: gather(name) for name in _CORE_PASSTHROUGH_FIELDS}
     return SubsystemArrays(
-        alpha=np.stack(alpha_rows)[meas_index],
-        rho=np.stack(rho_rows)[meas_index],
+        alpha=xp.stack(alpha_rows)[meas_index],
+        rho=xp.stack(rho_rows)[meas_index],
         stage_mean_rel=mean,
         stage_sigma_rel=sigma,
-        power_factor=np.stack(power_rows)[tech_index],
+        power_factor=xp.stack(power_rows)[tech_index],
         calib=calib,
         delay_params=first.delay_params,
         vt_sens=first.vt_sens,

@@ -34,6 +34,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from .. import obs
+from ..backend import get_backend
 from ..calibration import DEFAULT_CALIBRATION, Calibration
 from ..circuits.delay import DEFAULT_DELAY_PARAMS, DelayParams, gate_delay
 from ..circuits.knobs import (
@@ -43,7 +44,6 @@ from ..circuits.knobs import (
     VtSensitivities,
     threshold_voltage,
 )
-from ..circuits.leakage import static_power
 from ..chip.chip import Core
 from ..numerics import ndtri
 from ..timing.paths import StageModifiers
@@ -208,9 +208,12 @@ class SubsystemArrays:
         return delay / self._nominal_gate_delay
 
     def p_static(self, vdd, vbb, temp):
-        """Leakage power in watts."""
-        vt = threshold_voltage(self.vt0_leak, temp, vdd, vbb, self.vt_sens)
-        return static_power(self.ksta, vdd, temp, vt) * self.power_factor
+        """Leakage power in watts (fused Eq 9 + Eq 8 kernel)."""
+        _, p_sta = get_backend().kernel("vt_and_static_power")(
+            self.vt0_leak, vdd, vbb, temp, self.ksta, self.vt_sens,
+            power_factor=self.power_factor,
+        )
+        return p_sta
 
     def p_dynamic(self, vdd, freq):
         """Dynamic power in watts."""
@@ -342,14 +345,27 @@ class FreqResult:
 def _thermal_fixed_point(
     subsystems: SubsystemArrays, vdd, vbb, freq, t_heatsink, iterations: int = 25
 ):
-    """Iterate Eq 6-9 to steady state (vectorised, no damping needed)."""
+    """Iterate Eq 6-9 to steady state (vectorised, no damping needed).
+
+    Each iteration is one fused ``thermal_step`` kernel call; two
+    temperature buffers ping-pong through its ``out=`` parameter so the
+    loop allocates nothing in steady state.
+    """
     p_dyn = subsystems.p_dynamic(vdd, freq)
     temp = np.broadcast_to(
         np.asarray(t_heatsink + 5.0), np.broadcast_shapes(p_dyn.shape, np.shape(vbb))
     ).copy()
-    for _ in range(iterations):
-        p_sta = subsystems.p_static(vdd, vbb, temp)
-        temp = np.minimum(t_heatsink + subsystems.rth * (p_dyn + p_sta), 500.0)
+    thermal_step = get_backend().kernel("thermal_step")
+    scratch = np.empty(temp.shape)
+    with obs.span("kernel.thermal_fixed_point"):
+        for _ in range(iterations):
+            new_temp, _ = thermal_step(
+                subsystems.vt0_leak, vdd, vbb, temp, subsystems.ksta,
+                subsystems.rth, p_dyn, t_heatsink, subsystems.vt_sens,
+                power_factor=subsystems.power_factor, t_runaway=500.0,
+                out=scratch,
+            )
+            temp, scratch = new_temp, temp
     return temp, p_dyn
 
 

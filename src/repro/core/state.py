@@ -216,7 +216,12 @@ def evaluate_configurations(
     delays = stage_delays(
         core, vdd, vbb, solution.temperature, stacked_modifiers
     )
-    pe = stage_error_rates(freq, delays, rho)
+    # Configuration guarantees positive frequencies, so the batched path
+    # can call the fused kernel directly, skipping the re-validation
+    # inside stage_error_rates.
+    pe = get_backend().kernel("timing_error_cdf")(
+        freq, delays.mean, delays.sigma, rho
+    )
     p_dyn_lane = solution.p_dynamic.sum(axis=-1)
     l2 = core.l2_power(freq[:, 0])
     return [

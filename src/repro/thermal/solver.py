@@ -8,6 +8,12 @@ Static power rises with temperature (Eq 8) and the threshold voltage falls
 (Eq 9), so the system is a feedback loop that the paper solves "by
 iterating until convergence" — exactly what :func:`solve_temperatures`
 does, fully vectorised over subsystems and operating-point grids.
+
+Each iteration is one ``thermal_step`` fused-kernel call (see
+:mod:`repro.kernels`): both power terms, the clamped temperature update
+and the convergence delta in one pass, ping-ponging two temperature
+buffers so the loop allocates nothing in steady state.  The whole fixed
+point is timed under the ``kernel.thermal_fixed_point`` span.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import obs
+from ..backend import get_backend
 from ..chip.chip import Core
 
 #: Hard cap applied during iteration; reaching it flags thermal runaway.
@@ -87,18 +94,21 @@ def solve_temperatures(
     shape = np.broadcast_shapes(p_dyn.shape, vbb.shape)
     p_dyn = np.broadcast_to(p_dyn, shape).copy()
 
+    thermal_step = get_backend().kernel("thermal_step")
     temp = np.full(shape, t_heatsink + 5.0)
-    p_sta = np.zeros(shape)
+    scratch = np.empty(shape)
     iterations = max_iter
-    for iteration in range(max_iter):
-        p_sta = core.subsystem_static_power(vdd, vbb, temp)
-        new_temp = t_heatsink + core.rth * (p_dyn + p_sta)
-        new_temp = np.minimum(new_temp, T_RUNAWAY)
-        if np.max(np.abs(new_temp - temp)) < tol:
-            temp = new_temp
-            iterations = iteration + 1
-            break
-        temp = new_temp
+    with obs.span("kernel.thermal_fixed_point"):
+        for iteration in range(max_iter):
+            new_temp, delta = thermal_step(
+                core.vt0_leak, vdd, vbb, temp, core.ksta, core.rth,
+                p_dyn, t_heatsink, core.vt_sens,
+                t_runaway=T_RUNAWAY, compute_delta=True, out=scratch,
+            )
+            temp, scratch = new_temp, temp
+            if float(np.max(delta)) < tol:
+                iterations = iteration + 1
+                break
     obs.inc("thermal.solves")
     obs.observe("thermal.iterations", iterations)
     p_sta = core.subsystem_static_power(vdd, vbb, temp)
@@ -150,24 +160,25 @@ def solve_temperatures_lanes(
     # masked state; a single Core broadcasts its (n,) arrays as before.
     per_lane = hasattr(core, "lane_subset")
 
+    thermal_step = get_backend().kernel("thermal_step")
     temp = np.full(shape, t_heatsink + 5.0)
     iterations = np.full(n_lanes, max_iter, dtype=int)
     active = np.arange(n_lanes)
-    for iteration in range(max_iter):
-        node = core.lane_subset(active) if per_lane else core
-        p_sta = node.subsystem_static_power(
-            vdd_b[active], vbb_b[active], temp[active]
-        )
-        new_temp = t_heatsink + node.rth * (p_dyn[active] + p_sta)
-        new_temp = np.minimum(new_temp, T_RUNAWAY)
-        delta = np.max(np.abs(new_temp - temp[active]), axis=-1)
-        temp[active] = new_temp
-        converged = delta < tol
-        if np.any(converged):
-            iterations[active[converged]] = iteration + 1
-            active = active[~converged]
-        if active.size == 0:
-            break
+    with obs.span("kernel.thermal_fixed_point"):
+        for iteration in range(max_iter):
+            node = core.lane_subset(active) if per_lane else core
+            new_temp, delta = thermal_step(
+                node.vt0_leak, vdd_b[active], vbb_b[active], temp[active],
+                node.ksta, node.rth, p_dyn[active], t_heatsink,
+                node.vt_sens, t_runaway=T_RUNAWAY, compute_delta=True,
+            )
+            temp[active] = new_temp
+            converged = delta < tol
+            if np.any(converged):
+                iterations[active[converged]] = iteration + 1
+                active = active[~converged]
+            if active.size == 0:
+                break
     obs.inc("thermal.solves", float(n_lanes))
     for count in iterations:
         obs.observe("thermal.iterations", float(count))

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..numerics import ndtri, norm_sf
+from ..backend import get_backend
+from ..numerics import ndtri
 
 from .paths import StageDelays
 
@@ -26,14 +27,16 @@ def stage_error_rates(freq, delays: StageDelays, rho) -> np.ndarray:
     """Per-stage errors/instruction at frequency ``freq`` (hertz).
 
     ``freq`` broadcasts against the leading axes of the delay arrays;
-    the trailing axis indexes subsystems.
+    the trailing axis indexes subsystems.  The evaluation routes
+    through the fused ``timing_error_cdf`` kernel (bit-identical to the
+    unfused ``rho * Q((1/f - m)/s)`` composition).
     """
     freq = np.asarray(freq, dtype=float)
     if np.any(freq <= 0.0):
         raise ValueError("frequency must be positive")
-    period = 1.0 / freq
-    z = (period - delays.mean) / delays.sigma
-    return np.asarray(rho, dtype=float) * norm_sf(z)
+    return get_backend().kernel("timing_error_cdf")(
+        freq, delays.mean, delays.sigma, rho
+    )
 
 
 def processor_error_rate(freq, delays: StageDelays, rho) -> np.ndarray:
